@@ -1,0 +1,414 @@
+//! Parallel Gaussian elimination — the paper's second application.
+//!
+//! Forward elimination with partial pivoting on an augmented matrix
+//! `[A | b]`, written entirely in the primitive vocabulary. Each
+//! elimination step `k` is:
+//!
+//! 1. `extract(Col, k)` + an arg-max-abs reduction over rows `k..n` —
+//!    the pivot search;
+//! 2. a row swap when needed — two `extract`s and two `insert`s;
+//! 3. `extract_replicated(Row, k)` and `extract_replicated(Col, k)` —
+//!    the pivot row and multiplier column fan-out (the step the naive
+//!    element-at-a-time router made an order of magnitude slower);
+//! 4. a local rank-1 update of the trailing submatrix.
+//!
+//! With a **cyclic** layout the active submatrix stays spread over all
+//! processors as it shrinks, keeping every step's local work at
+//! `O(ceil(n/p_r) * ceil(n/p_c))` — this is why the default layout for
+//! elimination is cyclic (bench T4 includes the block-layout ablation).
+
+use vmp_core::elem::{ArgMaxAbs, Loc, ReduceOp, Sum};
+use vmp_core::prelude::*;
+use vmp_core::primitives;
+use vmp_hypercube::machine::Hypercube;
+
+use crate::serial::Dense;
+
+/// Numerical tolerance for singularity detection.
+pub const GE_EPS: f64 = 1e-12;
+
+/// Gaussian elimination failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeError {
+    /// No acceptable pivot at some elimination step.
+    Singular,
+}
+
+/// Statistics of an elimination run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GeStats {
+    /// Number of row interchanges performed.
+    pub row_swaps: usize,
+}
+
+/// Componentwise sum on `(f64, f64, f64)` — folds the three back-
+/// substitution quantities (dot product, rhs, diagonal) in one butterfly.
+#[derive(Debug, Clone, Copy, Default)]
+struct Sum3;
+
+impl ReduceOp<(f64, f64, f64)> for Sum3 {
+    fn identity(&self) -> (f64, f64, f64) {
+        (0.0, 0.0, 0.0)
+    }
+    fn combine(&self, a: (f64, f64, f64), b: (f64, f64, f64)) -> (f64, f64, f64) {
+        (a.0 + b.0, a.1 + b.1, a.2 + b.2)
+    }
+}
+
+/// Build the distributed augmented matrix `[A | b]` (`n x (n+1)`) from
+/// host data, cyclically laid out on `grid`.
+#[must_use]
+pub fn build_augmented(a: &Dense, b: &[f64], grid: ProcGrid) -> DistMatrix<f64> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "square system expected");
+    assert_eq!(b.len(), n, "rhs length");
+    let layout = MatrixLayout::cyclic(MatShape::new(n, n + 1), grid);
+    DistMatrix::from_fn(layout, |i, j| if j < n { a.get(i, j) } else { b[i] })
+}
+
+/// Forward elimination with partial pivoting, in place. On success the
+/// first `n` columns are upper triangular (below-diagonal entries are
+/// exact zeros from the rank-1 updates).
+///
+/// # Errors
+/// [`GeError::Singular`] if a pivot column is numerically zero.
+pub fn forward_eliminate(hc: &mut Hypercube, aug: &mut DistMatrix<f64>) -> Result<GeStats, GeError> {
+    let n = aug.shape().rows;
+    let width = aug.shape().cols;
+    assert!(width > n, "augmented matrix expected (at least one rhs column)");
+    let mut stats = GeStats::default();
+
+    for k in 0..n {
+        // Pivot search: arg-max |a_ik| over i >= k.
+        let col = primitives::extract(hc, aug, Axis::Col, k);
+        let piv = col.reduce_lifted(hc, ArgMaxAbs, |i, v| {
+            if i >= k {
+                Loc::new(v, i)
+            } else {
+                Loc::new(0.0, usize::MAX)
+            }
+        });
+        if piv.index == usize::MAX || piv.value.abs() < GE_EPS {
+            return Err(GeError::Singular);
+        }
+
+        // Row interchange via extract/insert.
+        if piv.index != k {
+            let rk = primitives::extract(hc, aug, Axis::Row, k);
+            let rp = primitives::extract(hc, aug, Axis::Row, piv.index);
+            primitives::insert(hc, aug, Axis::Row, k, &rp);
+            primitives::insert(hc, aug, Axis::Row, piv.index, &rk);
+            stats.row_swaps += 1;
+        }
+
+        // Fan out the pivot row and the multiplier column.
+        let row_k = primitives::extract_replicated(hc, aug, Axis::Row, k);
+        let col_k = primitives::extract_replicated(hc, aug, Axis::Col, k);
+        let akk = piv.value;
+
+        // Trailing update on the active submatrix only — with a cyclic
+        // layout the charged critical path shrinks as elimination
+        // proceeds. Column k is set to exact zero (eliminated, not left
+        // to roundoff).
+        aug.rank1_update_ranged(hc, &col_k, &row_k, k + 1..n, k + 1..width, move |_, _, a, c, r| {
+            a - (c / akk) * r
+        });
+        aug.rank1_update_ranged(hc, &col_k, &row_k, k + 1..n, k..k + 1, |_, _, _, _, _| 0.0);
+    }
+    Ok(stats)
+}
+
+/// Back substitution on a forward-eliminated augmented matrix, using the
+/// right-hand side stored in `rhs_col`. The solution is maintained as a
+/// replicated row-aligned vector and filled from the bottom up; each
+/// step needs one row extraction and one fused three-way reduction.
+#[must_use]
+pub fn back_substitute_col(hc: &mut Hypercube, aug: &DistMatrix<f64>, rhs_col: usize) -> Vec<f64> {
+    let n = aug.shape().rows;
+    let width = aug.shape().cols;
+    assert!(rhs_col >= n && rhs_col < width, "rhs column out of range");
+    let layout = VectorLayout::aligned(
+        width,
+        aug.layout().grid().clone(),
+        Axis::Row,
+        Placement::Replicated,
+        aug.layout().cols().kind(),
+    );
+    // x lives in slots 0..n; slots >= n (the rhs columns) stay 0.
+    let mut x = DistVector::constant(layout, 0.0f64);
+
+    for k in (0..n).rev() {
+        let row = primitives::extract_replicated(hc, aug, Axis::Row, k);
+        let triple = row.zip(hc, &x, move |j, r, xj| {
+            (
+                if j > k && j < n { r * xj } else { 0.0 }, // dot with known part
+                if j == rhs_col { r } else { 0.0 },        // rhs_k
+                if j == k { r } else { 0.0 },              // a_kk
+            )
+        });
+        let (dot, rhs, akk) = triple.reduce_all(hc, Sum3);
+        let xk = (rhs - dot) / akk;
+        x = x.map(hc, move |j, v| if j == k { xk } else { v });
+    }
+    x.to_dense()[..n].to_vec()
+}
+
+/// Back substitution for the single-rhs augmented form `[A | b]`.
+#[must_use]
+pub fn back_substitute(hc: &mut Hypercube, aug: &DistMatrix<f64>) -> Vec<f64> {
+    back_substitute_col(hc, aug, aug.shape().rows)
+}
+
+/// Solve `A X = B` for `k` right-hand sides at once: one forward
+/// elimination over the `n x (n+k)` augmented matrix, then one back
+/// substitution per column — the multiple-rhs amortisation the banded
+/// solver reports in the surrounding corpus rely on.
+///
+/// # Errors
+/// [`GeError::Singular`] for singular systems.
+pub fn ge_solve_multi(
+    hc: &mut Hypercube,
+    a: &Dense,
+    bs: &[Vec<f64>],
+    grid: ProcGrid,
+) -> Result<Vec<Vec<f64>>, GeError> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "square system expected");
+    let k = bs.len();
+    assert!(k > 0, "need at least one right-hand side");
+    for b in bs {
+        assert_eq!(b.len(), n, "rhs length");
+    }
+    let layout = MatrixLayout::cyclic(MatShape::new(n, n + k), grid);
+    let mut aug =
+        DistMatrix::from_fn(layout, |i, j| if j < n { a.get(i, j) } else { bs[j - n][i] });
+    forward_eliminate(hc, &mut aug)?;
+    Ok((0..k).map(|c| back_substitute_col(hc, &aug, n + c)).collect())
+}
+
+/// Solve `A x = b` end to end on the machine: build the augmented
+/// matrix, eliminate, back-substitute.
+///
+/// # Errors
+/// [`GeError::Singular`] for singular systems.
+pub fn ge_solve(
+    hc: &mut Hypercube,
+    a: &Dense,
+    b: &[f64],
+    grid: ProcGrid,
+) -> Result<(Vec<f64>, GeStats), GeError> {
+    let mut aug = build_augmented(a, b, grid);
+    let stats = forward_eliminate(hc, &mut aug)?;
+    Ok((back_substitute(hc, &aug), stats))
+}
+
+/// Solve on an already-distributed augmented matrix (consumed in place).
+///
+/// # Errors
+/// [`GeError::Singular`] for singular systems.
+pub fn ge_solve_dist(
+    hc: &mut Hypercube,
+    aug: &mut DistMatrix<f64>,
+) -> Result<(Vec<f64>, GeStats), GeError> {
+    let stats = forward_eliminate(hc, aug)?;
+    Ok((back_substitute(hc, aug), stats))
+}
+
+/// A no-pivoting variant (ablation; only safe for diagonally dominant
+/// systems): skips the arg-max search and the row swaps. Used by bench
+/// T4 to price what pivoting costs in primitive operations.
+///
+/// # Errors
+/// [`GeError::Singular`] if a diagonal entry is numerically zero.
+pub fn forward_eliminate_no_pivot(
+    hc: &mut Hypercube,
+    aug: &mut DistMatrix<f64>,
+) -> Result<(), GeError> {
+    let n = aug.shape().rows;
+    let width = aug.shape().cols;
+    assert!(width > n, "augmented matrix expected");
+    for k in 0..n {
+        let row_k = primitives::extract_replicated(hc, aug, Axis::Row, k);
+        let col_k = primitives::extract_replicated(hc, aug, Axis::Col, k);
+        let akk = row_k.reduce_lifted(hc, Sum, |j, v| if j == k { v } else { 0.0 });
+        if akk.abs() < GE_EPS {
+            return Err(GeError::Singular);
+        }
+        aug.rank1_update_ranged(hc, &col_k, &row_k, k + 1..n, k..width, move |_, j, a, c, r| {
+            if j == k {
+                0.0
+            } else {
+                a - (c / akk) * r
+            }
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial;
+    use crate::workloads;
+    use vmp_hypercube::cost::CostModel;
+    use vmp_hypercube::topology::Cube;
+
+    fn machine_and_grid(dim: u32) -> (Hypercube, ProcGrid) {
+        (Hypercube::new(dim, CostModel::cm2()), ProcGrid::square(Cube::new(dim)))
+    }
+
+    #[test]
+    fn solves_diag_dominant_to_truth() {
+        for (n, dim) in [(4usize, 2u32), (9, 4), (16, 4), (25, 6)] {
+            let (a, b, x_true) = workloads::diag_dominant_system(n, n as u64);
+            let (mut hc, grid) = machine_and_grid(dim);
+            let (x, _) = ge_solve(&mut hc, &a, &b, grid).expect("nonsingular");
+            for (xs, xt) in x.iter().zip(&x_true) {
+                assert!((xs - xt).abs() < 1e-8, "n = {n}, dim = {dim}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_serial_lu_solution() {
+        let n = 18;
+        let a = workloads::random_matrix(n, n, 11);
+        let b = workloads::random_vector(n, 12);
+        let serial_x = serial::lu_solve(&a, &b).expect("random square is a.s. nonsingular");
+        let (mut hc, grid) = machine_and_grid(4);
+        let (x, _) = ge_solve(&mut hc, &a, &b, grid).expect("nonsingular");
+        for (xs, xt) in x.iter().zip(&serial_x) {
+            assert!((xs - xt).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn pivoting_engages_on_stress_matrix() {
+        let n = 12;
+        let a = workloads::pivot_stress_matrix(n, 5);
+        let x_true: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 * 0.25).collect();
+        let b = a.matvec(&x_true);
+        let (mut hc, grid) = machine_and_grid(4);
+        let (x, stats) = ge_solve(&mut hc, &a, &b, grid).expect("nonsingular");
+        assert!(stats.row_swaps > 0, "tiny diagonals must force swaps");
+        for (xs, xt) in x.iter().zip(&x_true) {
+            assert!((xs - xt).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn elimination_produces_exact_zeros_below_diagonal() {
+        let n = 10;
+        let (a, b, _) = workloads::diag_dominant_system(n, 77);
+        let (mut hc, grid) = machine_and_grid(4);
+        let mut aug = build_augmented(&a, &b, grid);
+        forward_eliminate(&mut hc, &mut aug).expect("nonsingular");
+        let d = aug.to_dense();
+        for i in 0..n {
+            for j in 0..i {
+                assert_eq!(d[i][j], 0.0, "exact zero at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rhs_solves_match_single_solves() {
+        let n = 12;
+        let a = workloads::random_matrix(n, n, 31);
+        let bs: Vec<Vec<f64>> = (0..3).map(|k| workloads::random_vector(n, 40 + k)).collect();
+        let (mut hc, grid) = machine_and_grid(4);
+        let xs = ge_solve_multi(&mut hc, &a, &bs, grid).expect("nonsingular");
+        assert_eq!(xs.len(), 3);
+        for (b, x) in bs.iter().zip(&xs) {
+            let (mut hc1, grid1) = machine_and_grid(4);
+            let (x1, _) = ge_solve(&mut hc1, &a, b, grid1).expect("nonsingular");
+            for (u, v) in x.iter().zip(&x1) {
+                assert!((u - v).abs() < 1e-9, "multi-rhs column agrees with single solve");
+            }
+            // Residual check against the original system.
+            let ax = a.matvec(x);
+            for (lhs, rhs) in ax.iter().zip(b) {
+                assert!((lhs - rhs).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rhs_amortises_elimination() {
+        // k solves via one elimination should be much cheaper than k
+        // separate eliminations.
+        let n = 24;
+        let a = workloads::random_matrix(n, n, 8);
+        let bs: Vec<Vec<f64>> = (0..4).map(|k| workloads::random_vector(n, k)).collect();
+        let (mut hc_multi, grid) = machine_and_grid(4);
+        let _ = ge_solve_multi(&mut hc_multi, &a, &bs, grid).expect("nonsingular");
+        let mut separate = 0.0;
+        for b in &bs {
+            let (mut hc1, grid1) = machine_and_grid(4);
+            let _ = ge_solve(&mut hc1, &a, b, grid1).expect("nonsingular");
+            separate += hc1.elapsed_us();
+        }
+        assert!(
+            hc_multi.elapsed_us() < 0.6 * separate,
+            "multi {} vs separate {}",
+            hc_multi.elapsed_us(),
+            separate
+        );
+    }
+
+    #[test]
+    fn singular_system_reports_error() {
+        let a = serial::Dense::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 6.0],
+            vec![0.5, 1.0, 1.5],
+        ]);
+        let (mut hc, grid) = machine_and_grid(2);
+        assert_eq!(ge_solve(&mut hc, &a, &[1.0, 2.0, 0.5], grid).unwrap_err(), GeError::Singular);
+    }
+
+    #[test]
+    fn no_pivot_variant_agrees_on_dominant_systems() {
+        let n = 12;
+        let (a, b, _) = workloads::diag_dominant_system(n, 9);
+        let (mut hc1, grid1) = machine_and_grid(4);
+        let mut aug1 = build_augmented(&a, &b, grid1);
+        forward_eliminate_no_pivot(&mut hc1, &mut aug1).expect("dominant");
+        let x1 = back_substitute(&mut hc1, &aug1);
+        let (mut hc2, grid2) = machine_and_grid(4);
+        let (x2, stats) = ge_solve(&mut hc2, &a, &b, grid2).expect("dominant");
+        assert_eq!(stats.row_swaps, 0, "dominant diagonal needs no swaps");
+        for (a1, a2) in x1.iter().zip(&x2) {
+            assert_eq!(a1, a2, "identical pivot sequence, identical floats");
+        }
+    }
+
+    #[test]
+    fn result_is_identical_across_machine_sizes() {
+        // Machine-size independence: forward elimination is pivot
+        // selection (exact) plus elementwise arithmetic (identical
+        // expressions), so the eliminated matrix is bit-identical across
+        // cube dimensions. Back substitution reduces true sums, whose
+        // tree order depends on p, so solutions agree to roundoff only.
+        let n = 14;
+        let a = workloads::random_matrix(n, n, 21);
+        let b = workloads::random_vector(n, 22);
+        let mut eliminated = Vec::new();
+        let mut solutions = Vec::new();
+        for dim in [0u32, 2, 4, 6] {
+            let (mut hc, grid) = machine_and_grid(dim);
+            let mut aug = build_augmented(&a, &b, grid);
+            forward_eliminate(&mut hc, &mut aug).expect("nonsingular");
+            eliminated.push(aug.to_dense());
+            solutions.push(back_substitute(&mut hc, &aug));
+        }
+        for e in &eliminated[1..] {
+            assert_eq!(e, &eliminated[0], "bit-identical elimination across p");
+        }
+        for s in &solutions[1..] {
+            for (x, x0) in s.iter().zip(&solutions[0]) {
+                assert!((x - x0).abs() < 1e-10 * (1.0 + x0.abs()), "solution to roundoff");
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Histogram computation — data-independent vs data-dependent
+//! all-to-all reduction.
+//!
+//! Reproduces the algorithmic comparison of Gerogiannis, Orphanoudakis &
+//! Johnsson, *Histogram Computation on Distributed Memory Architectures*
+//! (TR-682, abstracted in the source booklet): both algorithms perform an
+//! all-to-all reduction of per-node bin counts through a butterfly, but
+//! the **data-independent** (dense) variant ships all `B` bins at every
+//! stage while the **data-dependent** (sparse) variant ships only the
+//! non-zero bins. With few elements per processor the sparse variant
+//! moves `O(sqrt(B))`-ish data per stage and wins; as occupancy grows it
+//! degenerates to the dense cost — the crossover experiment X6 measures
+//! exactly this.
+
+use vmp_core::prelude::*;
+use vmp_hypercube::collective::exchange;
+use vmp_hypercube::machine::Hypercube;
+
+/// Serial oracle.
+#[must_use]
+pub fn histogram_serial(values: &[usize], bins: usize) -> Vec<u64> {
+    let mut h = vec![0u64; bins];
+    for &v in values {
+        assert!(v < bins, "value {v} out of range 0..{bins}");
+        h[v] += 1;
+    }
+    h
+}
+
+/// Dense (data-independent) histogram: local count into a full `B`-bin
+/// array, then a butterfly all-reduce shipping all `B` bins per stage.
+/// Returns the machine-wide histogram (replicated; returned host-side).
+#[must_use]
+pub fn histogram_dense(hc: &mut Hypercube, v: &DistVector<usize>, bins: usize) -> Vec<u64> {
+    let p = v.layout().grid().p();
+    // Local counting.
+    let mut locals: Vec<Vec<u64>> = Vec::with_capacity(p);
+    let mut max_chunk = 0usize;
+    for node in 0..p {
+        let mut h = vec![0u64; bins];
+        for &x in &v.chunks()[node] {
+            assert!(x < bins, "value {x} out of range 0..{bins}");
+            h[x] += 1;
+        }
+        max_chunk = max_chunk.max(v.chunks()[node].len());
+        locals.push(h);
+    }
+    hc.charge_flops(max_chunk);
+
+    // Butterfly: all B bins per stage.
+    let dims: Vec<u32> = hc.cube().iter_dims().collect();
+    vmp_hypercube::collective::allreduce(hc, &mut locals, &dims, |a, b| a + b);
+    locals.swap_remove(0)
+}
+
+/// Sparse (data-dependent) histogram: local counts kept as sorted
+/// `(bin, count)` pairs; each butterfly stage exchanges only the
+/// **non-zero** bins and merges. Same result, traffic proportional to
+/// occupancy instead of `B`.
+#[must_use]
+pub fn histogram_sparse(hc: &mut Hypercube, v: &DistVector<usize>, bins: usize) -> Vec<u64> {
+    let p = v.layout().grid().p();
+    // Local sparse counting (sorted by bin).
+    let mut sparse: Vec<Vec<(u32, u64)>> = Vec::with_capacity(p);
+    let mut max_chunk = 0usize;
+    for node in 0..p {
+        let chunk = &v.chunks()[node];
+        max_chunk = max_chunk.max(chunk.len());
+        let mut dense = vec![0u64; bins];
+        for &x in chunk {
+            assert!(x < bins, "value {x} out of range 0..{bins}");
+            dense[x] += 1;
+        }
+        sparse.push(
+            dense
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, c)| c > 0)
+                .map(|(b, c)| (b as u32, c))
+                .collect(),
+        );
+    }
+    hc.charge_flops(max_chunk);
+
+    // Butterfly with sparse merge: per stage, exchange the non-zero
+    // lists (2 machine words per entry, charged as 2 elements) and merge.
+    for d in hc.cube().iter_dims().collect::<Vec<_>>() {
+        let partners = exchange(hc, &sparse, d);
+        // The exchange charged 1 element per (bin, count) pair; charge
+        // the second word of each pair explicitly.
+        let extra = partners.iter().map(Vec::len).max().unwrap_or(0);
+        hc.charge_raw_us(hc.cost().beta * extra as f64);
+        let mut merge_work = 0usize;
+        for node in 0..p {
+            let merged = merge_sparse(&sparse[node], &partners[node]);
+            merge_work = merge_work.max(merged.len());
+            sparse[node] = merged;
+        }
+        hc.charge_flops(merge_work);
+    }
+
+    let mut out = vec![0u64; bins];
+    for &(b, c) in &sparse[0] {
+        out[b as usize] = c;
+    }
+    out
+}
+
+/// Merge two bin-sorted sparse histograms.
+fn merge_sparse(a: &[(u32, u64)], b: &[(u32, u64)]) -> Vec<(u32, u64)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((a[i].0, a[i].1 + b[j].1));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmp_hypercube::cost::CostModel;
+    use vmp_hypercube::topology::Cube;
+
+    fn dist(values: &[usize], dim: u32) -> (Hypercube, DistVector<usize>) {
+        let grid = ProcGrid::square(Cube::new(dim));
+        let layout = VectorLayout::linear(values.len(), grid, Dist::Block);
+        (Hypercube::new(dim, CostModel::cm2()), DistVector::from_slice(layout, values))
+    }
+
+    fn values(n: usize, bins: usize, spread: usize) -> Vec<usize> {
+        (0..n).map(|i| (i * 7919 + 13) % spread.min(bins)).collect()
+    }
+
+    #[test]
+    fn both_algorithms_match_the_serial_oracle() {
+        for (n, bins, spread, dim) in
+            [(100usize, 32usize, 32usize, 3u32), (57, 64, 5, 4), (256, 16, 16, 0), (33, 128, 3, 5)]
+        {
+            let vals = values(n, bins, spread);
+            let expect = histogram_serial(&vals, bins);
+            let (mut hc1, v1) = dist(&vals, dim);
+            assert_eq!(histogram_dense(&mut hc1, &v1, bins), expect, "dense n={n} bins={bins}");
+            let (mut hc2, v2) = dist(&vals, dim);
+            assert_eq!(histogram_sparse(&mut hc2, &v2, bins), expect, "sparse n={n} bins={bins}");
+        }
+    }
+
+    #[test]
+    fn sparse_wins_with_few_elements_and_many_bins() {
+        // Few pixels per processor, large B: the data-dependent variant
+        // ships far less. (TR-682's headline regime.)
+        let bins = 4096;
+        let vals = values(64, bins, 7); // 7 distinct values machine-wide
+        let (mut hd, v1) = dist(&vals, 6);
+        let _ = histogram_dense(&mut hd, &v1, bins);
+        let (mut hs, v2) = dist(&vals, 6);
+        let _ = histogram_sparse(&mut hs, &v2, bins);
+        assert!(
+            hs.elapsed_us() < hd.elapsed_us() / 4.0,
+            "sparse {} vs dense {}",
+            hs.elapsed_us(),
+            hd.elapsed_us()
+        );
+    }
+
+    #[test]
+    fn dense_wins_when_bins_saturate() {
+        // Many elements per processor, small B: every node's sparse list
+        // is full anyway, and the dense variant has no per-entry tax.
+        let bins = 64;
+        let vals = values(64 * 256, bins, bins);
+        let (mut hd, v1) = dist(&vals, 4);
+        let _ = histogram_dense(&mut hd, &v1, bins);
+        let (mut hs, v2) = dist(&vals, 4);
+        let _ = histogram_sparse(&mut hs, &v2, bins);
+        assert!(
+            hd.elapsed_us() < hs.elapsed_us(),
+            "dense {} vs sparse {}",
+            hd.elapsed_us(),
+            hs.elapsed_us()
+        );
+    }
+
+    #[test]
+    fn merge_sparse_merges() {
+        let a = vec![(1u32, 2u64), (5, 1)];
+        let b = vec![(0u32, 3u64), (5, 4), (9, 1)];
+        assert_eq!(merge_sparse(&a, &b), vec![(0, 3), (1, 2), (5, 5), (9, 1)]);
+        assert_eq!(merge_sparse(&[], &b), b);
+        assert_eq!(merge_sparse(&a, &[]), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_value_panics() {
+        let (mut hc, v) = dist(&[3, 99], 1);
+        let _ = histogram_dense(&mut hc, &v, 10);
+    }
+}

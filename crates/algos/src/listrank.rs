@@ -1,0 +1,138 @@
+//! List ranking by pointer jumping.
+//!
+//! The image-analysis reports in the booklet (Lim, Agrawal & Nekludova's
+//! `O(log N)` connected-components labelling) are built on pointer
+//! jumping: every element of a linked list learns its distance to the
+//! tail in `ceil(lg n)` rounds of "follow your successor's pointer".
+//! Each round is two indexed gathers ([`vmp_core::indexing`]) and an
+//! elementwise combine — a pure exercise of the irregular-communication
+//! machinery on top of the same machine.
+
+use vmp_core::indexing::gather_by_index;
+use vmp_core::prelude::*;
+use vmp_hypercube::machine::Hypercube;
+
+/// Rank every element of a linked list: `next[i]` is the successor of
+/// `i`, and the tail points to itself. Returns the number of hops from
+/// each element to the tail (tail = 0).
+///
+/// # Panics
+/// Panics if `next` is not a linear block-distributed vector or contains
+/// out-of-range successors.
+#[must_use]
+pub fn list_rank(hc: &mut Hypercube, next: &DistVector<usize>) -> DistVector<usize> {
+    let n = next.n();
+    let mut rank = next.map(hc, |i, succ| usize::from(succ != i));
+    let mut jump = next.clone();
+    let mut span = 1usize;
+    while span < n {
+        // rank[i] += rank[jump[i]]; jump[i] = jump[jump[i]].
+        let r_at = gather_by_index(hc, &rank, &jump);
+        let j_at = gather_by_index(hc, &jump, &jump);
+        rank = rank.zip(hc, &r_at, |_, a, b| a + b);
+        jump = j_at;
+        span <<= 1;
+    }
+    rank
+}
+
+/// Serial oracle.
+///
+/// # Panics
+/// Panics on malformed lists (no tail reachable within `n` hops).
+#[must_use]
+pub fn list_rank_serial(next: &[usize]) -> Vec<usize> {
+    let n = next.len();
+    let mut rank = vec![0usize; n];
+    for i in 0..n {
+        let mut cur = i;
+        let mut hops = 0usize;
+        while next[cur] != cur {
+            cur = next[cur];
+            hops += 1;
+            assert!(hops <= n, "no tail reachable from {i}");
+        }
+        rank[i] = hops;
+    }
+    rank
+}
+
+/// A random list over `0..n` as a `next` array (single chain), plus the
+/// element order from head to tail.
+#[must_use]
+pub fn random_list(n: usize, seed: u64) -> Vec<usize> {
+    // A pseudo-random permutation of 0..n defines the chain order.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut s = seed;
+    for i in (1..n).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (s >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    let mut next = vec![0usize; n];
+    for w in order.windows(2) {
+        next[w[0]] = w[1];
+    }
+    let tail = *order.last().expect("nonempty");
+    next[tail] = tail;
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmp_hypercube::cost::CostModel;
+    use vmp_hypercube::topology::Cube;
+
+    fn dist(next: &[usize], dim: u32) -> (Hypercube, DistVector<usize>) {
+        let grid = ProcGrid::square(Cube::new(dim));
+        let layout = VectorLayout::linear(next.len(), grid, Dist::Block);
+        (Hypercube::new(dim, CostModel::cm2()), DistVector::from_slice(layout, next))
+    }
+
+    #[test]
+    fn ranks_a_straight_chain() {
+        // 0 -> 1 -> 2 -> 3 (tail).
+        let next = vec![1usize, 2, 3, 3];
+        let (mut hc, v) = dist(&next, 2);
+        let ranks = list_rank(&mut hc, &v).to_dense();
+        assert_eq!(ranks, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn matches_serial_on_random_lists() {
+        for (n, dim) in [(1usize, 0u32), (7, 2), (32, 4), (100, 4), (257, 5)] {
+            let next = random_list(n, n as u64);
+            let serial = list_rank_serial(&next);
+            let (mut hc, v) = dist(&next, dim);
+            let par = list_rank(&mut hc, &v).to_dense();
+            assert_eq!(par, serial, "n = {n} dim = {dim}");
+        }
+    }
+
+    #[test]
+    fn takes_logarithmically_many_rounds() {
+        let n = 512usize;
+        let next = random_list(n, 3);
+        let (mut hc, v) = dist(&next, 4);
+        let _ = list_rank(&mut hc, &v);
+        // 10 pointer-jump rounds (lg 512 = 9, loop runs while span < n),
+        // each 2 gathers x 2 routed phases x <= 4 dims, plus assembly.
+        assert!(
+            hc.counters().message_steps <= 10 * 2 * 2 * 4,
+            "{} supersteps",
+            hc.counters().message_steps
+        );
+    }
+
+    #[test]
+    fn every_element_of_a_cycle_free_list_is_ranked_once() {
+        let n = 64;
+        let next = random_list(n, 9);
+        let (mut hc, v) = dist(&next, 3);
+        let ranks = list_rank(&mut hc, &v).to_dense();
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "ranks are a permutation of 0..n");
+    }
+}

@@ -1,0 +1,284 @@
+//! Distributed LU factorisation — Gaussian elimination that keeps its
+//! multipliers.
+//!
+//! [`crate::gauss`] eliminates an augmented system and discards the
+//! multipliers; factoring `P A = L U` once and reusing the factors is
+//! what a library user wants when many right-hand sides arrive over
+//! time. The elimination loop is the same primitive sequence (pivot
+//! search reduce, row-swap extract/inserts, pivot row/column fan-out,
+//! ranged rank-1 update) — the only change is that column `k` stores the
+//! multipliers instead of being zeroed.
+
+use vmp_core::elem::{ArgMaxAbs, Loc, Sum};
+use vmp_core::prelude::*;
+use vmp_core::primitives;
+use vmp_hypercube::machine::Hypercube;
+
+use crate::gauss::{GeError, GE_EPS};
+use crate::serial::Dense;
+
+/// Componentwise 3-sum (shared with back substitution).
+#[derive(Debug, Clone, Copy, Default)]
+struct Sum3;
+
+impl vmp_core::elem::ReduceOp<(f64, f64, f64)> for Sum3 {
+    fn identity(&self) -> (f64, f64, f64) {
+        (0.0, 0.0, 0.0)
+    }
+    fn combine(&self, a: (f64, f64, f64), b: (f64, f64, f64)) -> (f64, f64, f64) {
+        (a.0 + b.0, a.1 + b.1, a.2 + b.2)
+    }
+}
+
+/// A distributed LU factorisation with partial pivoting: `P A = L U`,
+/// stored compactly (unit-diagonal `L` strictly below, `U` on and
+/// above), plus the host-side permutation record.
+#[derive(Debug, Clone)]
+pub struct DistLu {
+    /// Compact factors, distributed like the input.
+    pub lu: DistMatrix<f64>,
+    /// `perm[k]` = original index of pivot row `k`.
+    pub perm: Vec<usize>,
+    /// Permutation sign.
+    pub sign: f64,
+    /// Product of pivots times `sign` — the determinant.
+    pub det: f64,
+}
+
+/// Factor a square distributed matrix with partial pivoting.
+///
+/// # Errors
+/// [`GeError::Singular`] if no acceptable pivot exists at some step.
+pub fn lu_factor_dist(hc: &mut Hypercube, a: &DistMatrix<f64>) -> Result<DistLu, GeError> {
+    let n = a.shape().rows;
+    assert_eq!(a.shape().cols, n, "LU requires a square matrix");
+    let mut lu = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0f64;
+    let mut det = 1.0f64;
+
+    for k in 0..n {
+        // Pivot search over rows k..n of column k.
+        let col = primitives::extract(hc, &lu, Axis::Col, k);
+        let piv = col.reduce_lifted(hc, ArgMaxAbs, |i, v| {
+            if i >= k {
+                Loc::new(v, i)
+            } else {
+                Loc::new(0.0, usize::MAX)
+            }
+        });
+        if piv.index == usize::MAX || piv.value.abs() < GE_EPS {
+            return Err(GeError::Singular);
+        }
+        if piv.index != k {
+            let rk = primitives::extract(hc, &lu, Axis::Row, k);
+            let rp = primitives::extract(hc, &lu, Axis::Row, piv.index);
+            primitives::insert(hc, &mut lu, Axis::Row, k, &rp);
+            primitives::insert(hc, &mut lu, Axis::Row, piv.index, &rk);
+            perm.swap(k, piv.index);
+            sign = -sign;
+        }
+        let akk = piv.value;
+        det *= akk;
+
+        // Multipliers into column k (rows below the diagonal).
+        let col_k = primitives::extract_replicated(hc, &lu, Axis::Col, k);
+        let multipliers = col_k.map(hc, move |i, v| if i > k { v / akk } else { v });
+        primitives::insert(hc, &mut lu, Axis::Col, k, &multipliers);
+
+        // Trailing update with the stored multipliers.
+        let row_k = primitives::extract_replicated(hc, &lu, Axis::Row, k);
+        lu.rank1_update_ranged(hc, &multipliers, &row_k, k + 1..n, k + 1..n, |_, _, a, m, u| {
+            a - m * u
+        });
+    }
+    Ok(DistLu { lu, perm, sign, det: det * sign })
+}
+
+impl DistLu {
+    /// Solve `A x = b` with the stored factors: permute, forward-, then
+    /// back-substitute — `2n` row extractions and fused reductions, no
+    /// re-elimination.
+    #[must_use]
+    pub fn solve(&self, hc: &mut Hypercube, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.shape().rows;
+        assert_eq!(b.len(), n, "rhs length");
+        let pb: Vec<f64> = self.perm.iter().map(|&pi| b[pi]).collect();
+
+        let layout = VectorLayout::aligned(
+            n,
+            self.lu.layout().grid().clone(),
+            Axis::Row,
+            Placement::Replicated,
+            self.lu.layout().cols().kind(),
+        );
+        // Forward substitution: y_k = pb_k - sum_{j<k} L_kj y_j.
+        let mut y = DistVector::constant(layout.clone(), 0.0f64);
+        for k in 0..n {
+            let row = primitives::extract_replicated(hc, &self.lu, Axis::Row, k);
+            let dot = row
+                .zip(hc, &y, move |j, l, yj| if j < k { l * yj } else { 0.0 })
+                .reduce_all(hc, Sum);
+            let yk = pb[k] - dot;
+            y = y.map(hc, move |j, v| if j == k { yk } else { v });
+        }
+        // Back substitution: x_k = (y_k - sum_{j>k} U_kj x_j) / U_kk.
+        let mut x = DistVector::constant(layout, 0.0f64);
+        for k in (0..n).rev() {
+            let row = primitives::extract_replicated(hc, &self.lu, Axis::Row, k);
+            let yk = y.reduce_lifted(hc, Sum, move |j, v| if j == k { v } else { 0.0 });
+            let triple = row.zip(hc, &x, move |j, u, xj| {
+                (
+                    if j > k { u * xj } else { 0.0 },
+                    0.0,
+                    if j == k { u } else { 0.0 },
+                )
+            });
+            let (dot, _, ukk) = triple.reduce_all(hc, Sum3);
+            let xk = (yk - dot) / ukk;
+            x = x.map(hc, move |j, v| if j == k { xk } else { v });
+        }
+        x.to_dense()
+    }
+
+    /// Host-side reconstruction `L * U` (test/diagnostic helper).
+    #[must_use]
+    pub fn reconstruct(&self) -> Dense {
+        let n = self.lu.shape().rows;
+        let lu = self.lu.to_dense();
+        let l = Dense::from_fn(n, n, |i, j| match i.cmp(&j) {
+            std::cmp::Ordering::Greater => lu[i][j],
+            std::cmp::Ordering::Equal => 1.0,
+            std::cmp::Ordering::Less => 0.0,
+        });
+        let u = Dense::from_fn(n, n, |i, j| if j >= i { lu[i][j] } else { 0.0 });
+        l.matmul(&u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial;
+    use crate::workloads;
+    use vmp_hypercube::cost::CostModel;
+    use vmp_hypercube::topology::Cube;
+
+    fn dist(a: &Dense, dim: u32) -> (Hypercube, DistMatrix<f64>) {
+        let grid = ProcGrid::square(Cube::new(dim));
+        let m = DistMatrix::from_fn(
+            MatrixLayout::cyclic(MatShape::new(a.rows(), a.cols()), grid),
+            |i, j| a.get(i, j),
+        );
+        (Hypercube::new(dim, CostModel::cm2()), m)
+    }
+
+    #[test]
+    fn factorisation_reconstructs_pa() {
+        for (n, dim) in [(4usize, 0u32), (9, 2), (16, 4), (21, 4)] {
+            let a = workloads::random_matrix(n, n, n as u64);
+            let (mut hc, am) = dist(&a, dim);
+            let f = lu_factor_dist(&mut hc, &am).expect("a.s. nonsingular");
+            let pa = Dense::from_fn(n, n, |i, j| a.get(f.perm[i], j));
+            let rec = f.reconstruct();
+            assert!(
+                pa.max_abs_diff(&rec) < 1e-9,
+                "n = {n} dim = {dim}: residual {}",
+                pa.max_abs_diff(&rec)
+            );
+        }
+    }
+
+    #[test]
+    fn solve_reuses_factors_for_many_rhs() {
+        let n = 14;
+        let a = workloads::random_matrix(n, n, 3);
+        let (mut hc, am) = dist(&a, 4);
+        let f = lu_factor_dist(&mut hc, &am).expect("nonsingular");
+        let t_factor = hc.elapsed_us();
+        for seed in 0..4u64 {
+            let b = workloads::random_vector(n, 50 + seed);
+            let x = f.solve(&mut hc, &b);
+            let ax = a.matvec(&x);
+            for (lhs, rhs) in ax.iter().zip(&b) {
+                assert!((lhs - rhs).abs() < 1e-8, "seed {seed}");
+            }
+        }
+        // At small n both phases are start-up dominated, so don't assert
+        // a wall ratio here; just check the factor phase was non-trivial
+        // and every solve reused it (no re-elimination => no row swaps
+        // can have occurred after factoring).
+        assert!(t_factor > 0.0);
+        assert!(hc.elapsed_us() > t_factor);
+    }
+
+    #[test]
+    fn solves_amortise_at_scale() {
+        // In the flop-dominated regime the triangular solves are O(n^2)
+        // against the factorisation's O(n^3): re-factoring for each of
+        // 4 rhs must cost clearly more than factoring once + 4 solves.
+        let n = 96;
+        let a = workloads::random_matrix(n, n, 4);
+        let bs: Vec<Vec<f64>> = (0..4).map(|k| workloads::random_vector(n, k)).collect();
+
+        let (mut hc_once, am) = dist(&a, 2);
+        let f = lu_factor_dist(&mut hc_once, &am).expect("nonsingular");
+        for b in &bs {
+            let _ = f.solve(&mut hc_once, b);
+        }
+
+        let mut refactor_total = 0.0;
+        for b in &bs {
+            let (mut hc_re, am2) = dist(&a, 2);
+            let f2 = lu_factor_dist(&mut hc_re, &am2).expect("nonsingular");
+            let _ = f2.solve(&mut hc_re, b);
+            refactor_total += hc_re.elapsed_us();
+        }
+        assert!(
+            hc_once.elapsed_us() < 0.7 * refactor_total,
+            "factor-once {} vs refactor-each {}",
+            hc_once.elapsed_us(),
+            refactor_total
+        );
+    }
+
+    #[test]
+    fn determinant_matches_serial() {
+        for n in [2usize, 5, 10] {
+            let a = workloads::random_matrix(n, n, 17 + n as u64);
+            let (mut hc, am) = dist(&a, 2);
+            let f = lu_factor_dist(&mut hc, &am).expect("nonsingular");
+            let serial = serial::lu_factor(&a).expect("nonsingular");
+            let sd = serial.det();
+            assert!(
+                (f.det - sd).abs() < 1e-9 * (1.0 + sd.abs()),
+                "n = {n}: {} vs {}",
+                f.det,
+                sd
+            );
+        }
+    }
+
+    #[test]
+    fn pivoting_engages_and_stays_accurate() {
+        let n = 10;
+        let a = workloads::pivot_stress_matrix(n, 2);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) * 0.3 - 1.0).collect();
+        let b = a.matvec(&x_true);
+        let (mut hc, am) = dist(&a, 3);
+        let f = lu_factor_dist(&mut hc, &am).expect("nonsingular");
+        assert!(f.sign != 0.0);
+        assert!(f.perm != (0..n).collect::<Vec<_>>(), "swaps happened");
+        let x = f.solve(&mut hc, &b);
+        for (u, v) in x.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Dense::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        let (mut hc, am) = dist(&a, 1);
+        assert_eq!(lu_factor_dist(&mut hc, &am).unwrap_err(), GeError::Singular);
+    }
+}

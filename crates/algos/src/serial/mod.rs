@@ -1,0 +1,16 @@
+//! Serial dense linear algebra — oracles and baselines.
+//!
+//! Everything the parallel algorithms are validated against, and the
+//! "best serial algorithm" running times the paper's processor-time
+//! product claim references.
+
+pub mod dense;
+pub mod lu;
+pub mod simplex;
+
+pub use dense::Dense;
+pub use lu::{lu_factor, solve as lu_solve, Lu, LuError};
+pub use simplex::{
+    entering_column, leaving_row, solve as simplex_solve, SimplexResult, SimplexStatus,
+    StandardLp, EPS,
+};

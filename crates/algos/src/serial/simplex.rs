@@ -1,0 +1,645 @@
+//! Serial dense-tableau simplex — the oracle for the parallel simplex.
+//!
+//! Standard form: maximise `c x` subject to `A x <= b`, `x >= 0`, with
+//! `b >= 0` so the slack basis is feasible. The pivot rule (Dantzig
+//! entering column, minimum-ratio leaving row, smallest-index
+//! tie-breaks) and the exact arithmetic of the pivot update are shared
+//! verbatim with the parallel implementation, so the two produce
+//! **bit-identical** tableaus — the strongest possible correctness check
+//! for the primitive-based version.
+
+use super::dense::Dense;
+
+/// A linear program in standard inequality form:
+/// maximise `c x` s.t. `A x <= b`, `x >= 0`.
+#[derive(Debug, Clone)]
+pub struct StandardLp {
+    /// Constraint matrix (`m x n`).
+    pub a: Dense,
+    /// Right-hand sides (`m`, must be nonnegative).
+    pub b: Vec<f64>,
+    /// Objective coefficients (`n`).
+    pub c: Vec<f64>,
+}
+
+impl StandardLp {
+    /// Build and validate a standard-form LP.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches or negative right-hand sides.
+    #[must_use]
+    pub fn new(a: Dense, b: Vec<f64>, c: Vec<f64>) -> Self {
+        assert_eq!(a.rows(), b.len(), "one rhs per constraint");
+        assert_eq!(a.cols(), c.len(), "one objective coefficient per variable");
+        assert!(b.iter().all(|&v| v >= 0.0), "standard form requires b >= 0");
+        StandardLp { a, b, c }
+    }
+
+    /// Number of constraints `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Number of structural variables `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.a.cols()
+    }
+
+    /// The initial simplex tableau `(m+1) x (n+m+1)`:
+    /// rows `0..m` are `[A | I | b]`, row `m` is `[-c | 0 | 0]`.
+    #[must_use]
+    pub fn initial_tableau(&self) -> Dense {
+        let (m, n) = (self.m(), self.n());
+        Dense::from_fn(m + 1, n + m + 1, |i, j| {
+            if i < m {
+                if j < n {
+                    self.a.get(i, j)
+                } else if j < n + m {
+                    f64::from(u8::from(j - n == i))
+                } else {
+                    self.b[i]
+                }
+            } else if j < n {
+                -self.c[j]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Is `x` feasible to tolerance `tol`?
+    #[must_use]
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        x.len() == self.n()
+            && x.iter().all(|&v| v >= -tol)
+            && self.a.matvec(x).iter().zip(&self.b).all(|(lhs, rhs)| *lhs <= rhs + tol)
+    }
+
+    /// Objective value `c x`.
+    #[must_use]
+    pub fn objective(&self, x: &[f64]) -> f64 {
+        self.c.iter().zip(x).map(|(a, b)| a * b).sum()
+    }
+}
+
+/// Termination status of a simplex run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimplexStatus {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The objective is unbounded above.
+    Unbounded,
+    /// No feasible point exists (two-phase runs only).
+    Infeasible,
+    /// The iteration cap was hit (degenerate cycling guard).
+    MaxIterations,
+}
+
+/// Result of a simplex run.
+#[derive(Debug, Clone)]
+pub struct SimplexResult {
+    /// Why the run stopped.
+    pub status: SimplexStatus,
+    /// Objective value at termination.
+    pub objective: f64,
+    /// Structural variable values (`n`).
+    pub x: Vec<f64>,
+    /// Pivot count.
+    pub iterations: usize,
+}
+
+/// Numerical tolerance shared by serial and parallel implementations.
+pub const EPS: f64 = 1e-9;
+
+/// The entering-variable selection rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PivotRule {
+    /// Most negative reduced cost (fast in practice; can cycle on
+    /// degenerate problems in principle).
+    #[default]
+    Dantzig,
+    /// Smallest eligible index (Bland): guaranteed termination.
+    Bland,
+}
+
+/// Choose the entering column: the most negative reduced cost (Dantzig),
+/// smallest index on ties; `None` at optimality. Shared rule.
+#[must_use]
+pub fn entering_column(reduced_costs: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (j, &rc) in reduced_costs.iter().enumerate() {
+        if rc < -EPS && best.is_none_or(|(_, b)| rc < b) {
+            best = Some((j, rc));
+        }
+    }
+    best.map(|(j, _)| j)
+}
+
+/// Bland's entering rule: the smallest index with a negative reduced
+/// cost; `None` at optimality.
+#[must_use]
+pub fn entering_column_bland(reduced_costs: &[f64]) -> Option<usize> {
+    reduced_costs.iter().position(|&rc| rc < -EPS)
+}
+
+/// Dispatch on the configured rule.
+#[must_use]
+pub fn entering_column_with(rule: PivotRule, reduced_costs: &[f64]) -> Option<usize> {
+    match rule {
+        PivotRule::Dantzig => entering_column(reduced_costs),
+        PivotRule::Bland => entering_column_bland(reduced_costs),
+    }
+}
+
+/// Choose the leaving row by minimum ratio `b_i / a_iq` over `a_iq > EPS`,
+/// smallest index on ties; `None` means unbounded. Shared rule.
+#[must_use]
+pub fn leaving_row(col: &[f64], rhs: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for i in 0..col.len() {
+        if col[i] > EPS {
+            let ratio = rhs[i] / col[i];
+            if best.is_none_or(|(_, b)| ratio < b) {
+                best = Some((i, ratio));
+            }
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Solve by the primal simplex method on the dense tableau (Dantzig
+/// rule).
+#[must_use]
+pub fn solve(lp: &StandardLp, max_iterations: usize) -> SimplexResult {
+    solve_with_rule(lp, max_iterations, PivotRule::Dantzig)
+}
+
+/// As [`solve`] with an explicit entering rule.
+#[must_use]
+pub fn solve_with_rule(lp: &StandardLp, max_iterations: usize, rule: PivotRule) -> SimplexResult {
+    let (m, n) = (lp.m(), lp.n());
+    let width = n + m + 1;
+    let rhs_col = width - 1;
+    let mut t = lp.initial_tableau();
+    let mut basis: Vec<usize> = (n..n + m).collect();
+
+    for iterations in 0..max_iterations {
+        // Entering variable from the objective row (excluding rhs).
+        let reduced: Vec<f64> = (0..width - 1).map(|j| t.get(m, j)).collect();
+        let Some(q) = entering_column_with(rule, &reduced) else {
+            return finish(SimplexStatus::Optimal, &t, &basis, lp, iterations);
+        };
+
+        // Ratio test on column q.
+        let col: Vec<f64> = (0..m).map(|i| t.get(i, q)).collect();
+        let rhs: Vec<f64> = (0..m).map(|i| t.get(i, rhs_col)).collect();
+        let Some(r) = leaving_row(&col, &rhs) else {
+            return finish(SimplexStatus::Unbounded, &t, &basis, lp, iterations);
+        };
+
+        // Pivot on (r, q) — the exact update order the parallel version
+        // mirrors: scale the pivot row, then eliminate the column.
+        let arq = t.get(r, q);
+        for j in 0..width {
+            let v = t.get(r, j) / arq;
+            t.set(r, j, v);
+        }
+        for i in 0..=m {
+            if i == r {
+                continue;
+            }
+            let aiq = t.get(i, q);
+            if aiq == 0.0 {
+                continue;
+            }
+            for j in 0..width {
+                let v = t.get(i, j) - aiq * t.get(r, j);
+                t.set(i, j, v);
+            }
+        }
+        basis[r] = q;
+    }
+    finish(SimplexStatus::MaxIterations, &t, &basis, lp, max_iterations)
+}
+
+fn finish(
+    status: SimplexStatus,
+    t: &Dense,
+    basis: &[usize],
+    lp: &StandardLp,
+    iterations: usize,
+) -> SimplexResult {
+    let (m, n) = (lp.m(), lp.n());
+    let rhs_col = n + m;
+    let mut x = vec![0.0; n];
+    for (i, &var) in basis.iter().enumerate() {
+        if var < n {
+            x[var] = t.get(i, rhs_col);
+        }
+    }
+    SimplexResult { status, objective: t.get(m, rhs_col), x, iterations }
+}
+
+/// A linear program in general inequality form: maximise `c x` s.t.
+/// `A x <= b` with `b` of **any sign**, `x >= 0`. Negative right-hand
+/// sides make the slack basis infeasible, so solving needs the two-phase
+/// method ([`solve_general`]).
+#[derive(Debug, Clone)]
+pub struct GeneralLp {
+    /// Constraint matrix (`m x n`).
+    pub a: Dense,
+    /// Right-hand sides (`m`, any sign).
+    pub b: Vec<f64>,
+    /// Objective coefficients (`n`).
+    pub c: Vec<f64>,
+}
+
+impl GeneralLp {
+    /// Build and validate a general-form LP.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches.
+    #[must_use]
+    pub fn new(a: Dense, b: Vec<f64>, c: Vec<f64>) -> Self {
+        assert_eq!(a.rows(), b.len(), "one rhs per constraint");
+        assert_eq!(a.cols(), c.len(), "one objective coefficient per variable");
+        GeneralLp { a, b, c }
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Number of structural variables.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.a.cols()
+    }
+
+    /// Rows whose right-hand side is negative (these get artificials).
+    #[must_use]
+    pub fn negative_rows(&self) -> Vec<usize> {
+        (0..self.m()).filter(|&i| self.b[i] < 0.0).collect()
+    }
+
+    /// Is `x` feasible to tolerance `tol`?
+    #[must_use]
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        x.len() == self.n()
+            && x.iter().all(|&v| v >= -tol)
+            && self.a.matvec(x).iter().zip(&self.b).all(|(lhs, rhs)| *lhs <= rhs + tol)
+    }
+
+    /// Objective value `c x`.
+    #[must_use]
+    pub fn objective(&self, x: &[f64]) -> f64 {
+        self.c.iter().zip(x).map(|(a, b)| a * b).sum()
+    }
+
+    /// The two-phase tableau: `(m+2) x (n + m + a + 1)` where `a` is the
+    /// number of negative-rhs rows. Constraint rows are sign-flipped
+    /// where `b_i < 0` (their slack enters with `-1` and an artificial
+    /// with `+1`); row `m` is the phase-2 objective (`-c`), row `m+1`
+    /// the phase-1 objective (`w = -sum of artificials`, expressed in
+    /// the nonbasic columns). Also returns the initial basis.
+    #[must_use]
+    pub fn two_phase_tableau(&self) -> (Dense, Vec<usize>) {
+        let (m, n) = (self.m(), self.n());
+        let neg = self.negative_rows();
+        let n_art = neg.len();
+        let art_index = |i: usize| neg.iter().position(|&r| r == i);
+        let width = n + m + n_art + 1;
+        let rhs_col = width - 1;
+
+        let mut t = Dense::zeros(m + 2, width);
+        let mut basis = Vec::with_capacity(m);
+        for i in 0..m {
+            let flip = if self.b[i] < 0.0 { -1.0 } else { 1.0 };
+            for j in 0..n {
+                t.set(i, j, flip * self.a.get(i, j));
+            }
+            t.set(i, n + i, flip); // slack (negated on flipped rows)
+            t.set(i, rhs_col, flip * self.b[i]);
+            if let Some(k) = art_index(i) {
+                t.set(i, n + m + k, 1.0);
+                basis.push(n + m + k);
+            } else {
+                basis.push(n + i);
+            }
+        }
+        // Phase-2 objective row (maximise c x -> store -c).
+        for j in 0..n {
+            t.set(m, j, -self.c[j]);
+        }
+        // Phase-1 objective row: maximise -sum(artificials): store +1 on
+        // artificial columns, then eliminate the basic artificials by
+        // subtracting their rows.
+        for k in 0..n_art {
+            t.set(m + 1, n + m + k, 1.0);
+        }
+        for &i in &neg {
+            for j in 0..width {
+                let v = t.get(m + 1, j) - t.get(i, j);
+                t.set(m + 1, j, v);
+            }
+        }
+        (t, basis)
+    }
+}
+
+/// Solve a general-form LP with the two-phase primal simplex.
+#[must_use]
+pub fn solve_general(lp: &GeneralLp, max_iterations: usize) -> SimplexResult {
+    let (m, n) = (lp.m(), lp.n());
+    let n_art = lp.negative_rows().len();
+    let width = n + m + n_art + 1;
+    let rhs_col = width - 1;
+    let (mut t, mut basis) = lp.two_phase_tableau();
+
+    let mut used = 0usize;
+
+    // Phase 1: drive the artificials to zero using the w row (m+1).
+    if n_art > 0 {
+        match run_phase(&mut t, &mut basis, m, m + 1, |j| j < rhs_col, max_iterations) {
+            PhaseEnd::Optimal(iters) => used += iters,
+            PhaseEnd::Unbounded(_) => unreachable!("phase-1 objective is bounded above by 0"),
+            PhaseEnd::MaxIterations => {
+                return finish_general(SimplexStatus::MaxIterations, &t, &basis, lp, max_iterations)
+            }
+        }
+        if t.get(m + 1, rhs_col) < -EPS {
+            return finish_general(SimplexStatus::Infeasible, &t, &basis, lp, used);
+        }
+    }
+
+    // Phase 2: optimise the real objective, artificials barred.
+    let budget = max_iterations.saturating_sub(used);
+    match run_phase(&mut t, &mut basis, m, m, |j| j < n + m, budget) {
+        PhaseEnd::Optimal(iters) => {
+            finish_general(SimplexStatus::Optimal, &t, &basis, lp, used + iters)
+        }
+        PhaseEnd::Unbounded(iters) => {
+            finish_general(SimplexStatus::Unbounded, &t, &basis, lp, used + iters)
+        }
+        PhaseEnd::MaxIterations => {
+            finish_general(SimplexStatus::MaxIterations, &t, &basis, lp, max_iterations)
+        }
+    }
+}
+
+enum PhaseEnd {
+    Optimal(usize),
+    Unbounded(usize),
+    MaxIterations,
+}
+
+/// Pivot with objective row `obj_row` and entering columns restricted by
+/// `allowed`, updating **every** row of the tableau (both objectives).
+fn run_phase(
+    t: &mut Dense,
+    basis: &mut [usize],
+    m: usize,
+    obj_row: usize,
+    allowed: impl Fn(usize) -> bool,
+    max_iterations: usize,
+) -> PhaseEnd {
+    let width = t.cols();
+    let rhs_col = width - 1;
+    for iterations in 0..max_iterations {
+        let reduced: Vec<f64> = (0..rhs_col)
+            .map(|j| if allowed(j) { t.get(obj_row, j) } else { f64::INFINITY })
+            .collect();
+        let Some(q) = entering_column(&reduced) else {
+            return PhaseEnd::Optimal(iterations);
+        };
+        let col: Vec<f64> = (0..m).map(|i| t.get(i, q)).collect();
+        let rhs: Vec<f64> = (0..m).map(|i| t.get(i, rhs_col)).collect();
+        let Some(r) = leaving_row(&col, &rhs) else {
+            return PhaseEnd::Unbounded(iterations);
+        };
+        let arq = t.get(r, q);
+        for j in 0..width {
+            let v = t.get(r, j) / arq;
+            t.set(r, j, v);
+        }
+        for i in 0..t.rows() {
+            if i == r {
+                continue;
+            }
+            let aiq = t.get(i, q);
+            if aiq == 0.0 {
+                continue;
+            }
+            for j in 0..width {
+                let v = t.get(i, j) - aiq * t.get(r, j);
+                t.set(i, j, v);
+            }
+        }
+        basis[r] = q;
+    }
+    PhaseEnd::MaxIterations
+}
+
+fn finish_general(
+    status: SimplexStatus,
+    t: &Dense,
+    basis: &[usize],
+    lp: &GeneralLp,
+    iterations: usize,
+) -> SimplexResult {
+    let n = lp.n();
+    let rhs_col = t.cols() - 1;
+    let mut x = vec![0.0; n];
+    for (i, &var) in basis.iter().enumerate() {
+        if var < n {
+            x[var] = t.get(i, rhs_col);
+        }
+    }
+    SimplexResult { status, objective: t.get(lp.m(), rhs_col), x, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> StandardLp {
+        StandardLp::new(Dense::from_rows(a), b.to_vec(), c.to_vec())
+    }
+
+    #[test]
+    fn textbook_two_variable_lp() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), z = 36.
+        let p = lp(
+            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
+            &[4.0, 12.0, 18.0],
+            &[3.0, 5.0],
+        );
+        let r = solve(&p, 100);
+        assert_eq!(r.status, SimplexStatus::Optimal);
+        assert!((r.objective - 36.0).abs() < 1e-9);
+        assert!((r.x[0] - 2.0).abs() < 1e-9);
+        assert!((r.x[1] - 6.0).abs() < 1e-9);
+        assert!(p.is_feasible(&r.x, 1e-9));
+    }
+
+    #[test]
+    fn degenerate_start_still_solves() {
+        // A constraint with b = 0 makes the initial basis degenerate.
+        let p = lp(&[vec![1.0, -1.0], vec![1.0, 1.0]], &[0.0, 4.0], &[1.0, 0.5]);
+        let r = solve(&p, 100);
+        assert_eq!(r.status, SimplexStatus::Optimal);
+        assert!(p.is_feasible(&r.x, 1e-9));
+        assert!((r.objective - 3.0).abs() < 1e-9, "optimum at x = (2, 2): {r:?}");
+    }
+
+    #[test]
+    fn unbounded_lp_detected() {
+        // max x with only  -x + y <= 1: x can grow without bound.
+        let p = lp(&[vec![-1.0, 1.0]], &[1.0], &[1.0, 0.0]);
+        let r = solve(&p, 100);
+        assert_eq!(r.status, SimplexStatus::Unbounded);
+    }
+
+    #[test]
+    fn origin_optimal_when_c_nonpositive() {
+        let p = lp(&[vec![1.0, 1.0]], &[10.0], &[-1.0, -2.0]);
+        let r = solve(&p, 100);
+        assert_eq!(r.status, SimplexStatus::Optimal);
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.objective, 0.0);
+        assert_eq!(r.x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_random_lps() {
+        // Enumerate all basic solutions of tiny LPs and compare optima.
+        // 2 vars, 3 constraints: vertices are intersections of pairs of
+        // active constraints (including axes).
+        let p = lp(
+            &[vec![2.0, 1.0], vec![1.0, 3.0], vec![1.0, 0.0]],
+            &[8.0, 9.0, 3.0],
+            &[2.0, 3.0],
+        );
+        let r = solve(&p, 100);
+        assert_eq!(r.status, SimplexStatus::Optimal);
+        // Brute force over a fine grid (coarse certificate).
+        let mut best = 0.0f64;
+        let steps = 300;
+        for xi in 0..=steps {
+            for yi in 0..=steps {
+                let x = 4.0 * xi as f64 / steps as f64;
+                let y = 4.0 * yi as f64 / steps as f64;
+                if p.is_feasible(&[x, y], 1e-12) {
+                    best = best.max(p.objective(&[x, y]));
+                }
+            }
+        }
+        assert!(r.objective >= best - 0.05, "simplex {} vs grid {}", r.objective, best);
+        assert!(p.is_feasible(&r.x, 1e-9));
+    }
+
+    fn glp(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> GeneralLp {
+        GeneralLp::new(Dense::from_rows(a), b.to_vec(), c.to_vec())
+    }
+
+    #[test]
+    fn general_solver_reduces_to_standard_when_b_nonnegative() {
+        let std_lp = lp(
+            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
+            &[4.0, 12.0, 18.0],
+            &[3.0, 5.0],
+        );
+        let gen_lp = glp(
+            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
+            &[4.0, 12.0, 18.0],
+            &[3.0, 5.0],
+        );
+        let rs = solve(&std_lp, 100);
+        let rg = solve_general(&gen_lp, 100);
+        assert_eq!(rg.status, SimplexStatus::Optimal);
+        assert_eq!(rg.objective, rs.objective, "no artificials => same pivots");
+        assert_eq!(rg.x, rs.x);
+    }
+
+    #[test]
+    fn two_phase_handles_negative_rhs() {
+        // max x + y s.t. x + y <= 8, -x - y <= -3 (i.e. x + y >= 3),
+        // x <= 5: optimum 8 on the first face; origin is NOT feasible.
+        let g = glp(
+            &[vec![1.0, 1.0], vec![-1.0, -1.0], vec![1.0, 0.0]],
+            &[8.0, -3.0, 5.0],
+            &[1.0, 1.0],
+        );
+        assert!(!g.is_feasible(&[0.0, 0.0], 1e-9), "origin violates x+y >= 3");
+        let r = solve_general(&g, 200);
+        assert_eq!(r.status, SimplexStatus::Optimal);
+        assert!((r.objective - 8.0).abs() < 1e-9, "{r:?}");
+        assert!(g.is_feasible(&r.x, 1e-8));
+    }
+
+    #[test]
+    fn two_phase_detects_infeasibility() {
+        // x <= 1 and -x <= -3 (x >= 3): empty.
+        let g = glp(&[vec![1.0], vec![-1.0]], &[1.0, -3.0], &[1.0]);
+        let r = solve_general(&g, 200);
+        assert_eq!(r.status, SimplexStatus::Infeasible);
+    }
+
+    #[test]
+    fn two_phase_equality_like_band() {
+        // 2 <= x + 2y <= 2 expressed as a pair of inequalities: the
+        // feasible set is the segment x + 2y = 2, x,y >= 0.
+        let g = glp(
+            &[vec![1.0, 2.0], vec![-1.0, -2.0]],
+            &[2.0, -2.0],
+            &[3.0, 1.0],
+        );
+        let r = solve_general(&g, 200);
+        assert_eq!(r.status, SimplexStatus::Optimal);
+        // max 3x + y on the segment: best at x = 2, y = 0 -> 6.
+        assert!((r.objective - 6.0).abs() < 1e-9, "{r:?}");
+        assert!(g.is_feasible(&r.x, 1e-8));
+    }
+
+    #[test]
+    fn two_phase_unbounded_after_feasibility() {
+        // x >= 2 only: feasible, and max x unbounded.
+        let g = glp(&[vec![-1.0]], &[-2.0], &[1.0]);
+        let r = solve_general(&g, 200);
+        assert_eq!(r.status, SimplexStatus::Unbounded);
+    }
+
+    #[test]
+    fn tableau_structure_is_consistent() {
+        let g = glp(
+            &[vec![1.0, 1.0], vec![-1.0, 0.0]],
+            &[4.0, -1.0],
+            &[1.0, 2.0],
+        );
+        let (t, basis) = g.two_phase_tableau();
+        assert_eq!(t.rows(), 4); // 2 constraints + z + w
+        assert_eq!(t.cols(), 2 + 2 + 1 + 1); // n + m + one artificial + rhs
+        assert_eq!(basis, vec![2, 4], "slack for row 0, artificial for row 1");
+        // Flipped row 1: -(-1, 0) = (1, 0), slack -1, artificial +1, rhs 1.
+        assert_eq!(t.get(1, 0), 1.0);
+        assert_eq!(t.get(1, 3), -1.0);
+        assert_eq!(t.get(1, 4), 1.0);
+        assert_eq!(t.get(1, 5), 1.0);
+        // w row has zero reduced cost on the basic artificial.
+        assert_eq!(t.get(3, 4), 0.0);
+    }
+
+    #[test]
+    fn entering_and_leaving_rules_tie_break_by_index() {
+        assert_eq!(entering_column(&[-1.0, -1.0, 0.0]), Some(0));
+        assert_eq!(entering_column(&[0.0, -2.0, -2.0]), Some(1));
+        assert_eq!(entering_column(&[0.0, 1.0]), None);
+        assert_eq!(leaving_row(&[1.0, 1.0], &[3.0, 3.0]), Some(0));
+        assert_eq!(leaving_row(&[0.0, -1.0], &[1.0, 1.0]), None);
+        assert_eq!(leaving_row(&[2.0, 1.0], &[4.0, 1.0]), Some(1));
+    }
+}

@@ -1,0 +1,247 @@
+//! Tridiagonal systems by parallel cyclic reduction (PCR).
+//!
+//! The technical-report corpus around the paper devotes half a dozen
+//! reports to tridiagonal systems on Boolean cubes (Johnsson's *Solving
+//! Tridiagonal Systems on Ensemble Architectures*, the ADI and fast
+//! Poisson solver papers — all abstracted in the source booklet). PCR is
+//! the fully data-parallel member of that family: `ceil(lg n)` steps,
+//! each combining every equation with its neighbours at stride `2^s`,
+//! until the system is diagonal. In the primitive vocabulary a step is
+//! two vector shifts (blocked routed moves) and one elementwise pass
+//! over `(a, b, c, d)` coefficient tuples.
+//!
+//! For equation `i`: `a_i x_{i-1} + b_i x_i + c_i x_{i+1} = d_i`
+//! (`a_0 = c_{n-1} = 0`). Out-of-range neighbours are identity rows
+//! `(0, 1, 0, 0)`, which make the update formulas total.
+
+use vmp_core::prelude::*;
+use vmp_core::scan::route_permutation;
+use vmp_hypercube::machine::Hypercube;
+
+/// One equation's coefficients `(a, b, c, d)`.
+pub type Row4 = (f64, f64, f64, f64);
+
+/// The identity row used for out-of-range neighbours.
+pub const IDENTITY_ROW: Row4 = (0.0, 1.0, 0.0, 0.0);
+
+/// A tridiagonal system distributed as a linear block vector of
+/// coefficient tuples.
+#[derive(Debug, Clone)]
+pub struct DistTridiag {
+    rows: DistVector<Row4>,
+}
+
+impl DistTridiag {
+    /// Build from host-side diagonals (`a[0]` and `c[n-1]` must be 0).
+    ///
+    /// # Panics
+    /// Panics on length mismatches or nonzero out-of-band entries.
+    #[must_use]
+    pub fn from_diagonals(grid: ProcGrid, a: &[f64], b: &[f64], c: &[f64], d: &[f64]) -> Self {
+        let n = b.len();
+        assert!(n > 0, "empty system");
+        assert_eq!(a.len(), n, "subdiagonal length");
+        assert_eq!(c.len(), n, "superdiagonal length");
+        assert_eq!(d.len(), n, "rhs length");
+        assert_eq!(a[0], 0.0, "a[0] must be zero");
+        assert_eq!(c[n - 1], 0.0, "c[n-1] must be zero");
+        let layout = VectorLayout::linear(n, grid, Dist::Block);
+        let rows = DistVector::from_fn(layout, |i| (a[i], b[i], c[i], d[i]));
+        DistTridiag { rows }
+    }
+
+    /// System size.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.rows.n()
+    }
+
+    /// Solve by parallel cyclic reduction: `ceil(lg n)` elimination
+    /// steps, then the diagonal divide. Returns the solution vector.
+    #[must_use]
+    pub fn solve_pcr(&self, hc: &mut Hypercube) -> DistVector<f64> {
+        let n = self.n();
+        let mut rows = self.rows.clone();
+        let mut stride = 1usize;
+        while stride < n {
+            let s = stride;
+            // below[i] = rows[i - s], above[i] = rows[i + s].
+            let below = route_permutation(
+                hc,
+                &rows,
+                move |i| if i + s < n { Some(i + s) } else { None },
+                Some(IDENTITY_ROW),
+            );
+            let above = route_permutation(
+                hc,
+                &rows,
+                move |i| i.checked_sub(s),
+                Some(IDENTITY_ROW),
+            );
+            let paired = rows.zip(hc, &below, |_, cur, lo| (cur, lo));
+            rows = paired.zip(hc, &above, |_, (cur, lo), hi| {
+                let (a, b, c, d) = cur;
+                let (la, lb, lc, ld) = lo;
+                let (ha, hb, hc_, hd) = hi;
+                let alpha = -a / lb;
+                let gamma = -c / hb;
+                (
+                    alpha * la,
+                    b + alpha * lc + gamma * ha,
+                    gamma * hc_,
+                    d + alpha * ld + gamma * hd,
+                )
+            });
+            // Charge the extra arithmetic beyond the zip's 1 flop/elem:
+            // the update is ~12 flops per equation.
+            hc.charge_flops(10 * rows.layout().dist().max_count());
+            stride <<= 1;
+        }
+        rows.map(hc, |_, (_, b, _, d)| d / b)
+    }
+}
+
+/// Serial Thomas-algorithm oracle.
+///
+/// # Panics
+/// Panics if a pivot vanishes (the solver assumes diagonal dominance).
+#[must_use]
+pub fn thomas_solve(a: &[f64], b: &[f64], c: &[f64], d: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut cp = vec![0.0; n];
+    let mut dp = vec![0.0; n];
+    cp[0] = c[0] / b[0];
+    dp[0] = d[0] / b[0];
+    for i in 1..n {
+        let m = b[i] - a[i] * cp[i - 1];
+        assert!(m.abs() > 1e-14, "Thomas pivot vanished at {i}");
+        cp[i] = c[i] / m;
+        dp[i] = (d[i] - a[i] * dp[i - 1]) / m;
+    }
+    let mut x = vec![0.0; n];
+    x[n - 1] = dp[n - 1];
+    for i in (0..n - 1).rev() {
+        x[i] = dp[i] - cp[i] * x[i + 1];
+    }
+    x
+}
+
+/// A generated tridiagonal system `(a, b, c, d, x_true)`.
+pub type TridiagSystem = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>);
+
+/// A random diagonally dominant tridiagonal system with known solution:
+/// `(a, b, c, d, x_true)`.
+#[must_use]
+pub fn random_tridiag(n: usize, seed: u64) -> TridiagSystem {
+    use rand::Rng;
+    let mut r = crate::workloads::rng(seed);
+    let mut a = vec![0.0; n];
+    let mut b = vec![0.0; n];
+    let mut c = vec![0.0; n];
+    for i in 0..n {
+        if i > 0 {
+            a[i] = r.gen_range(-1.0..1.0);
+        }
+        if i + 1 < n {
+            c[i] = r.gen_range(-1.0..1.0);
+        }
+        b[i] = a[i].abs() + c[i].abs() + 1.0 + r.gen_range(0.0..1.0);
+    }
+    let x_true: Vec<f64> = (0..n).map(|_| r.gen_range(-2.0..2.0)).collect();
+    let mut d = vec![0.0; n];
+    for i in 0..n {
+        d[i] = b[i] * x_true[i];
+        if i > 0 {
+            d[i] += a[i] * x_true[i - 1];
+        }
+        if i + 1 < n {
+            d[i] += c[i] * x_true[i + 1];
+        }
+    }
+    (a, b, c, d, x_true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmp_hypercube::cost::CostModel;
+    use vmp_hypercube::topology::Cube;
+
+    fn grid(dim: u32) -> ProcGrid {
+        ProcGrid::square(Cube::new(dim))
+    }
+
+    #[test]
+    fn pcr_solves_known_small_system() {
+        // [2 1 0; 1 2 1; 0 1 2] x = [4; 8; 8] -> x = [1, 2, 3].
+        let a = vec![0.0, 1.0, 1.0];
+        let b = vec![2.0, 2.0, 2.0];
+        let c = vec![1.0, 1.0, 0.0];
+        let d = vec![4.0, 8.0, 8.0];
+        let mut hc = Hypercube::new(2, CostModel::cm2());
+        let sys = DistTridiag::from_diagonals(grid(2), &a, &b, &c, &d);
+        let x = sys.solve_pcr(&mut hc).to_dense();
+        for (got, want) in x.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn pcr_matches_thomas_on_random_systems() {
+        for n in [1usize, 2, 5, 16, 33, 100] {
+            for dim in [0u32, 3, 5] {
+                let (a, b, c, d, x_true) = random_tridiag(n, n as u64 * 7 + dim as u64);
+                let serial = thomas_solve(&a, &b, &c, &d);
+                let mut hc = Hypercube::new(dim, CostModel::cm2());
+                let sys = DistTridiag::from_diagonals(grid(dim), &a, &b, &c, &d);
+                let x = sys.solve_pcr(&mut hc).to_dense();
+                for i in 0..n {
+                    assert!((x[i] - serial[i]).abs() < 1e-9, "n={n} dim={dim} i={i}");
+                    assert!((x[i] - x_true[i]).abs() < 1e-8, "truth n={n} dim={dim} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pcr_is_bit_identical_across_machine_sizes() {
+        let (a, b, c, d, _) = random_tridiag(40, 99);
+        let mut answers = Vec::new();
+        for dim in [0u32, 2, 4, 6] {
+            let mut hc = Hypercube::new(dim, CostModel::cm2());
+            let sys = DistTridiag::from_diagonals(grid(dim), &a, &b, &c, &d);
+            answers.push(sys.solve_pcr(&mut hc).to_dense());
+        }
+        for ans in &answers[1..] {
+            assert_eq!(ans, &answers[0], "same elementwise arithmetic for every p");
+        }
+    }
+
+    #[test]
+    fn pcr_takes_log_steps_of_communication() {
+        let n = 64usize;
+        let (a, b, c, d, _) = random_tridiag(n, 5);
+        let mut hc = Hypercube::new(6, CostModel::cm2());
+        let sys = DistTridiag::from_diagonals(grid(6), &a, &b, &c, &d);
+        let _ = sys.solve_pcr(&mut hc);
+        // 6 strides, 2 routed shifts each, <= d supersteps per shift.
+        assert!(
+            hc.counters().message_steps <= 6 * 2 * 6 + 6,
+            "{} supersteps",
+            hc.counters().message_steps
+        );
+    }
+
+    #[test]
+    fn single_equation_system() {
+        let mut hc = Hypercube::new(2, CostModel::cm2());
+        let sys = DistTridiag::from_diagonals(grid(2), &[0.0], &[4.0], &[0.0], &[12.0]);
+        assert_eq!(sys.solve_pcr(&mut hc).to_dense(), vec![3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "a[0] must be zero")]
+    fn rejects_nonzero_corner() {
+        let _ = DistTridiag::from_diagonals(grid(1), &[1.0, 1.0], &[2.0, 2.0], &[1.0, 0.0], &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Workload generators for tests, examples and the benchmark harness.
+//!
+//! Deterministic (seeded) generators for the three applications: random
+//! diagonally dominant linear systems for Gaussian elimination, bounded
+//! random LPs and the Klee–Minty cube for simplex, and dense
+//! matrix/vector data for the multiply.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::serial::{Dense, StandardLp};
+
+/// Seeded RNG used by all generators.
+#[must_use]
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A dense `rows x cols` matrix with entries uniform in `[-1, 1)`.
+#[must_use]
+pub fn random_matrix(rows: usize, cols: usize, seed: u64) -> Dense {
+    let mut r = rng(seed);
+    Dense::from_fn(rows, cols, |_, _| r.gen_range(-1.0..1.0))
+}
+
+/// A vector with entries uniform in `[-1, 1)`.
+#[must_use]
+pub fn random_vector(n: usize, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(-1.0..1.0)).collect()
+}
+
+/// A random diagonally dominant system `(A, b, x_true)` with known
+/// solution: entries uniform, diagonal boosted above the row sum, and
+/// `b = A x_true`. Diagonal dominance makes the system well conditioned,
+/// so solves recover `x_true` to tight tolerance.
+#[must_use]
+pub fn diag_dominant_system(n: usize, seed: u64) -> (Dense, Vec<f64>, Vec<f64>) {
+    let mut r = rng(seed);
+    let mut a = Dense::from_fn(n, n, |_, _| r.gen_range(-1.0..1.0));
+    for i in 0..n {
+        let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| a.get(i, j).abs()).sum();
+        let sign = if a.get(i, i) >= 0.0 { 1.0 } else { -1.0 };
+        a.set(i, i, sign * (row_sum + 1.0 + r.gen_range(0.0..1.0)));
+    }
+    let x_true: Vec<f64> = (0..n).map(|_| r.gen_range(-2.0..2.0)).collect();
+    let b = a.matvec(&x_true);
+    (a, b, x_true)
+}
+
+/// A random symmetric positive-definite system `(A, b, x_true)` with a
+/// known solution: `A = M^T M + n I` for random `M`, `b = A x_true`.
+/// Well conditioned thanks to the diagonal shift, so CG converges fast.
+#[must_use]
+pub fn spd_system(n: usize, seed: u64) -> (Dense, Vec<f64>, Vec<f64>) {
+    let mut r = rng(seed);
+    let m = Dense::from_fn(n, n, |_, _| r.gen_range(-1.0..1.0));
+    let mut a = Dense::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            for k in 0..n {
+                s += m.get(k, i) * m.get(k, j);
+            }
+            a.set(i, j, s + if i == j { n as f64 } else { 0.0 });
+        }
+    }
+    let x_true: Vec<f64> = (0..n).map(|_| r.gen_range(-2.0..2.0)).collect();
+    let b = a.matvec(&x_true);
+    (a, b, x_true)
+}
+
+/// A matrix requiring genuine partial pivoting (tiny leading entries on
+/// even steps), still well conditioned.
+#[must_use]
+pub fn pivot_stress_matrix(n: usize, seed: u64) -> Dense {
+    let mut r = rng(seed);
+    Dense::from_fn(n, n, |i, j| {
+        if i == j {
+            if i % 2 == 0 {
+                1e-11 // forces a row swap at every even step
+            } else {
+                2.0 + r.gen_range(0.0..1.0)
+            }
+        } else if j == (i + 1) % n {
+            3.0 + r.gen_range(0.0..1.0) // large off-diagonal pivot target
+        } else {
+            r.gen_range(-0.5..0.5)
+        }
+    })
+}
+
+/// A bounded, feasible random LP: `A` entries in `[0.1, 1.1)` (so every
+/// column is bounded by every constraint), `b` in `[m/2, m)` and `c` in
+/// `[0.1, 1.1)`. The origin is feasible and the optimum is finite.
+#[must_use]
+pub fn random_dense_lp(m: usize, n: usize, seed: u64) -> StandardLp {
+    let mut r = rng(seed);
+    let a = Dense::from_fn(m, n, |_, _| r.gen_range(0.1..1.1));
+    let b: Vec<f64> = (0..m).map(|_| r.gen_range(m as f64 / 2.0..m as f64)).collect();
+    let c: Vec<f64> = (0..n).map(|_| r.gen_range(0.1..1.1)).collect();
+    StandardLp::new(a, b, c)
+}
+
+/// The Klee–Minty cube in `d` dimensions: the classic worst case that
+/// forces Dantzig-rule simplex through `2^d - 1` pivots.
+///
+/// max `sum_j 2^{d-1-j} x_j`
+/// s.t. `2 sum_{j<i} 2^{i-1-j} x_j + x_i <= 5^{i+1}` for `i = 0..d`.
+#[must_use]
+pub fn klee_minty(d: usize) -> StandardLp {
+    let a = Dense::from_fn(d, d, |i, j| {
+        if j < i {
+            2f64.powi((i - j + 1) as i32)
+        } else if j == i {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    let b: Vec<f64> = (0..d).map(|i| 5f64.powi(i as i32 + 1)).collect();
+    let c: Vec<f64> = (0..d).map(|j| 2f64.powi((d - 1 - j) as i32)).collect();
+    StandardLp::new(a, b, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::{lu_solve, simplex_solve, SimplexStatus};
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_matrix(4, 4, 7).to_rows(), random_matrix(4, 4, 7).to_rows());
+        assert_ne!(random_matrix(4, 4, 7).to_rows(), random_matrix(4, 4, 8).to_rows());
+        assert_eq!(random_vector(5, 1), random_vector(5, 1));
+    }
+
+    #[test]
+    fn diag_dominant_solves_to_truth() {
+        for n in [2usize, 5, 16, 33] {
+            let (a, b, x_true) = diag_dominant_system(n, 42);
+            let x = lu_solve(&a, &b).expect("diag dominant is nonsingular");
+            for (xs, xt) in x.iter().zip(&x_true) {
+                assert!((xs - xt).abs() < 1e-8, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn pivot_stress_matrix_requires_pivoting_but_solves() {
+        let n = 12;
+        let a = pivot_stress_matrix(n, 3);
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 * 0.5 - 2.0).collect();
+        let b = a.matvec(&x_true);
+        let x = lu_solve(&a, &b).expect("nonsingular");
+        for (xs, xt) in x.iter().zip(&x_true) {
+            assert!((xs - xt).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn random_lp_is_feasible_and_bounded() {
+        for seed in 0..5u64 {
+            let lp = random_dense_lp(6, 4, seed);
+            assert!(lp.is_feasible(&[0.0; 4], 0.0), "origin feasible");
+            let r = simplex_solve(&lp, 1000);
+            assert_eq!(r.status, SimplexStatus::Optimal, "seed {seed}");
+            assert!(r.objective > 0.0);
+            assert!(lp.is_feasible(&r.x, 1e-7));
+        }
+    }
+
+    #[test]
+    fn klee_minty_takes_exponentially_many_pivots() {
+        for d in 2..=6usize {
+            let lp = klee_minty(d);
+            let r = simplex_solve(&lp, 1 << (d + 2));
+            assert_eq!(r.status, SimplexStatus::Optimal, "d = {d}");
+            assert_eq!(r.iterations, (1 << d) - 1, "Dantzig visits 2^d - 1 vertices at d = {d}");
+            // Known optimum: x = (0, ..., 0, 5^d), objective 5^d.
+            assert!((r.objective - 5f64.powi(d as i32)).abs() < 1e-6 * 5f64.powi(d as i32));
+        }
+    }
+}

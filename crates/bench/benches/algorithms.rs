@@ -1,0 +1,72 @@
+//! Criterion wall-clock benches of the three applications (table T4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vmp_algos::{gauss, simplex, vecmat, workloads};
+use vmp_bench::common::{cm2, random_aligned_vector, random_dist_matrix, square_grid};
+use vmp_core::prelude::*;
+
+fn bench_vecmat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t4_vecmat");
+    g.sample_size(10);
+    for n in [128usize, 512] {
+        let a = random_dist_matrix(n, square_grid(8));
+        let x = random_aligned_vector(&a, Axis::Col);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(a, x), |b, (a, x)| {
+            b.iter(|| {
+                let mut hc = cm2(8);
+                std::hint::black_box(vecmat(&mut hc, x, a))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_ge_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t4_gaussian_elimination");
+    g.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let (a, bvec, _) = workloads::diag_dominant_system(n, n as u64);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(a, bvec), |b, (a, bvec)| {
+            b.iter(|| {
+                let mut hc = cm2(6);
+                std::hint::black_box(
+                    gauss::ge_solve(&mut hc, a, bvec, square_grid(6)).expect("nonsingular"),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_ge_serial_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t4_ge_serial_baseline");
+    g.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let (a, bvec, _) = workloads::diag_dominant_system(n, n as u64);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(a, bvec), |b, (a, bvec)| {
+            b.iter(|| std::hint::black_box(vmp_algos::serial::lu_solve(a, bvec).expect("nonsingular")));
+        });
+    }
+    g.finish();
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t4_simplex");
+    g.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let lp = workloads::random_dense_lp(n, n, 5);
+        g.bench_with_input(BenchmarkId::new("parallel", n), &lp, |b, lp| {
+            b.iter(|| {
+                let mut hc = cm2(6);
+                std::hint::black_box(simplex::solve_parallel(&mut hc, lp, square_grid(6), 10_000))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("serial", n), &lp, |b, lp| {
+            b.iter(|| std::hint::black_box(vmp_algos::serial::simplex_solve(lp, 10_000)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_vecmat, bench_ge_solve, bench_ge_serial_baseline, bench_simplex);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion wall-clock benches of the collective substrate (figure F4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vmp_bench::common::cm2;
+use vmp_hypercube::collective;
+use vmp_hypercube::spanning::{allreduce_rabenseifner, broadcast_with, BroadcastSchedule};
+
+const DIM: u32 = 8;
+
+fn bench_broadcast_schedules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f4_broadcast");
+    g.sample_size(10);
+    let dims: Vec<u32> = (0..DIM).collect();
+    for len in [64usize, 4096] {
+        for (name, sched) in [
+            ("binomial", BroadcastSchedule::Binomial),
+            ("scatter_allgather", BroadcastSchedule::ScatterAllgather),
+            ("allport_esbt", BroadcastSchedule::AllPortEsbt),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, len), &len, |b, &len| {
+                b.iter(|| {
+                    let mut hc = cm2(DIM);
+                    let mut locals =
+                        hc.locals_from_fn(|n| if n == 0 { vec![1.0f64; len] } else { Vec::new() });
+                    broadcast_with(&mut hc, &mut locals, &dims, 0, sched);
+                    std::hint::black_box(locals)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_allreduce_schedules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f4_allreduce");
+    g.sample_size(10);
+    let dims: Vec<u32> = (0..DIM).collect();
+    for len in [64usize, 4096] {
+        g.bench_with_input(BenchmarkId::new("butterfly", len), &len, |b, &len| {
+            b.iter(|| {
+                let mut hc = cm2(DIM);
+                let mut locals = hc.locals_from_fn(|n| vec![n as f64; len]);
+                collective::allreduce(&mut hc, &mut locals, &dims, |a, b| a + b);
+                std::hint::black_box(locals)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("rabenseifner", len), &len, |b, &len| {
+            b.iter(|| {
+                let mut hc = cm2(DIM);
+                let mut locals = hc.locals_from_fn(|n| vec![n as f64; len]);
+                allreduce_rabenseifner(&mut hc, &mut locals, &dims, |a, b| a + b);
+                std::hint::black_box(locals)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_scan_and_alltoall(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f4_scan_alltoall");
+    g.sample_size(10);
+    let dims: Vec<u32> = (0..DIM).collect();
+    g.bench_function("scan_inclusive_256", |b| {
+        b.iter(|| {
+            let mut hc = cm2(DIM);
+            let mut locals = hc.locals_from_fn(|n| vec![n as u64; 256]);
+            collective::scan_inclusive(&mut hc, &mut locals, &dims, |a, b| a.wrapping_add(b));
+            std::hint::black_box(locals)
+        });
+    });
+    g.bench_function("alltoall_16_per_pair", |b| {
+        b.iter(|| {
+            let mut hc = cm2(DIM);
+            let p = hc.p();
+            let send: Vec<Vec<Vec<u32>>> =
+                (0..p).map(|s| (0..p).map(|c| vec![(s * p + c) as u32; 16]).collect()).collect();
+            std::hint::black_box(collective::alltoall(&mut hc, send, &dims))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_broadcast_schedules, bench_allreduce_schedules, bench_scan_and_alltoall);
+criterion_main!(benches);

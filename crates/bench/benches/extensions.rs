@@ -1,0 +1,155 @@
+//! Criterion wall-clock benches of the extension applications
+//! (experiments X1–X3) plus the scan/segmented machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vmp_algos::tridiag::{random_tridiag, DistTridiag};
+use vmp_algos::{matmul, matmul_panelled, stencil, workloads};
+use vmp_bench::common::{cm2, random_dist_matrix, square_grid};
+use vmp_core::elem::Sum;
+use vmp_core::prelude::*;
+use vmp_core::scan::{scan_inclusive, segmented_reduce};
+
+const DIM: u32 = 6;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x1_matmul");
+    g.sample_size(10);
+    for n in [32usize, 64] {
+        let a = random_dist_matrix(n, square_grid(DIM));
+        let b = random_dist_matrix(n, square_grid(DIM));
+        g.bench_with_input(BenchmarkId::new("rank1", n), &(&a, &b), |bench, (a, b)| {
+            bench.iter(|| {
+                let mut hc = cm2(DIM);
+                std::hint::black_box(matmul(&mut hc, a, b))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("panel8", n), &(&a, &b), |bench, (a, b)| {
+            bench.iter(|| {
+                let mut hc = cm2(DIM);
+                std::hint::black_box(matmul_panelled(&mut hc, a, b, 8))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_stencil(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x3_stencil");
+    g.sample_size(10);
+    for n in [64usize, 128] {
+        let layout = MatrixLayout::block(MatShape::new(n, n), square_grid(DIM));
+        let f = DistMatrix::from_fn(layout, |i, j| {
+            f64::from(u8::from(i == n / 2 && j == n / 2))
+        });
+        g.bench_with_input(BenchmarkId::new("jacobi_5_sweeps", n), &f, |bench, f| {
+            bench.iter(|| {
+                let mut hc = cm2(DIM);
+                std::hint::black_box(stencil::jacobi_poisson(&mut hc, f, 1.0, 5))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_tridiag(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tridiag_pcr");
+    g.sample_size(10);
+    for n in [256usize, 1024] {
+        let (a, b, cc, d, _) = random_tridiag(n, 3);
+        g.bench_with_input(BenchmarkId::new("pcr", n), &(a, b, cc, d), |bench, (a, b, cc, d)| {
+            bench.iter(|| {
+                let mut hc = cm2(DIM);
+                let sys = DistTridiag::from_diagonals(square_grid(DIM), a, b, cc, d);
+                std::hint::black_box(sys.solve_pcr(&mut hc))
+            });
+        });
+        let (a, b, cc, d, _) = random_tridiag(n, 3);
+        g.bench_function(BenchmarkId::new("thomas_serial", n), |bench| {
+            bench.iter(|| std::hint::black_box(vmp_algos::tridiag::thomas_solve(&a, &b, &cc, &d)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan");
+    g.sample_size(10);
+    for n in [1024usize, 8192] {
+        let layout = VectorLayout::linear(n, square_grid(DIM), Dist::Block);
+        let v = DistVector::from_fn(layout.clone(), |i| i as i64);
+        g.bench_with_input(BenchmarkId::new("inclusive_sum", n), &v, |bench, v| {
+            bench.iter(|| {
+                let mut hc = cm2(DIM);
+                std::hint::black_box(scan_inclusive(&mut hc, v, Sum))
+            });
+        });
+        let flags = DistVector::from_fn(layout, |i| i % 37 == 0);
+        g.bench_with_input(BenchmarkId::new("segmented_reduce", n), &(&v, &flags), |bench, (v, f)| {
+            bench.iter(|| {
+                let mut hc = cm2(DIM);
+                std::hint::black_box(segmented_reduce(&mut hc, v, f, Sum))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x2_cg");
+    g.sample_size(10);
+    let (a, b, _) = workloads::spd_system(64, 5);
+    let am = DistMatrix::from_fn(
+        MatrixLayout::cyclic(MatShape::new(64, 64), square_grid(DIM)),
+        |i, j| a.get(i, j),
+    );
+    g.bench_function("cg_64", |bench| {
+        bench.iter(|| {
+            let mut hc = cm2(DIM);
+            std::hint::black_box(vmp_algos::cg::cg_solve(
+                &mut hc,
+                &am,
+                &b,
+                vmp_algos::cg::CgOptions::default(),
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn bench_fft_sort(c: &mut Criterion) {
+    use vmp_algos::fft::{fft, Cplx};
+    use vmp_algos::sort::sort_ascending;
+    let mut g = c.benchmark_group("x4_fft_sort");
+    g.sample_size(10);
+    for n in [1024usize, 4096] {
+        let layout = VectorLayout::linear(n, square_grid(DIM), Dist::Block);
+        let x: Vec<Cplx> = (0..n).map(|i| Cplx::new((i % 17) as f64 - 8.0, 0.0)).collect();
+        let v = DistVector::from_slice(layout.clone(), &x);
+        g.bench_with_input(BenchmarkId::new("fft", n), &v, |bench, v| {
+            bench.iter(|| {
+                let mut hc = cm2(DIM);
+                std::hint::black_box(fft(&mut hc, v))
+            });
+        });
+        let keys: Vec<i64> = (0..n).map(|i| ((i * 7919) % (2 * n)) as i64).collect();
+        let kv = DistVector::from_slice(layout, &keys);
+        g.bench_with_input(BenchmarkId::new("bitonic_sort", n), &kv, |bench, kv| {
+            bench.iter(|| {
+                let mut hc = cm2(DIM);
+                std::hint::black_box(sort_ascending(&mut hc, kv))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_stencil,
+    bench_tridiag,
+    bench_scans,
+    bench_cg,
+    bench_fft_sort
+);
+criterion_main!(benches);

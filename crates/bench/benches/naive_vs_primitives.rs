@@ -1,0 +1,74 @@
+//! Criterion wall-clock benches of naive vs primitive implementations
+//! (table T3 / figure F3). Note the *host* cost of simulating the
+//! element-granular router is itself large — which mirrors why the real
+//! machine was slow: per-element work that blocking eliminates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vmp_bench::common::{cm2, random_dist_matrix, square_grid};
+use vmp_bench::experiments::naive_exp;
+use vmp_core::elem::Sum;
+use vmp_core::prelude::*;
+use vmp_core::{naive, primitives};
+
+const DIM: u32 = 6;
+
+fn bench_reduce_pair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t3_reduce");
+    g.sample_size(10);
+    for n in [64usize, 256] {
+        let m = random_dist_matrix(n, square_grid(DIM));
+        g.bench_with_input(BenchmarkId::new("naive", n), &m, |b, m| {
+            b.iter(|| {
+                let mut hc = cm2(DIM);
+                std::hint::black_box(naive::naive_reduce(&mut hc, m, Axis::Row, Sum))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("primitives", n), &m, |b, m| {
+            b.iter(|| {
+                let mut hc = cm2(DIM);
+                std::hint::black_box(primitives::reduce(&mut hc, m, Axis::Row, Sum))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_extract_pair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t3_extract_replicated");
+    g.sample_size(10);
+    for n in [64usize, 256] {
+        let m = random_dist_matrix(n, square_grid(DIM));
+        g.bench_with_input(BenchmarkId::new("naive", n), &m, |b, m| {
+            b.iter(|| {
+                let mut hc = cm2(DIM);
+                std::hint::black_box(naive::naive_extract_replicated(&mut hc, m, Axis::Row, n / 2))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("primitives", n), &m, |b, m| {
+            b.iter(|| {
+                let mut hc = cm2(DIM);
+                std::hint::black_box(primitives::extract_replicated(&mut hc, m, Axis::Row, n / 2))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_application_kernels(c: &mut Criterion) {
+    // The full T3 pairs as one measured driver each.
+    let mut g = c.benchmark_group("t3_kernels");
+    g.sample_size(10);
+    g.bench_function("matvec_pair_128", |b| {
+        b.iter(|| std::hint::black_box(naive_exp::matvec_pair(128, DIM)));
+    });
+    g.bench_function("ge_step_pair_128", |b| {
+        b.iter(|| std::hint::black_box(naive_exp::ge_step_pair(128, DIM)));
+    });
+    g.bench_function("simplex_pivot_pair_128", |b| {
+        b.iter(|| std::hint::black_box(naive_exp::simplex_pivot_pair(128, DIM)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reduce_pair, bench_extract_pair, bench_application_kernels);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion wall-clock benches of the four primitives (tables T1/T2).
+//!
+//! The simulated clock in `reproduce` answers "what would the CM-2 do";
+//! these benches measure what the *host* actually does executing the same
+//! data movement — the real-machine series of the reproduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vmp_bench::common::{cm2, random_aligned_vector, random_dist_matrix, square_grid};
+use vmp_core::elem::Sum;
+use vmp_core::prelude::*;
+use vmp_core::primitives;
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_reduce");
+    g.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let m = random_dist_matrix(n, square_grid(8));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| {
+                let mut hc = cm2(8);
+                std::hint::black_box(primitives::reduce(&mut hc, m, Axis::Row, Sum))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_distribute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_distribute");
+    g.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let m = random_dist_matrix(n, square_grid(8));
+        let v = random_aligned_vector(&m, Axis::Row);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &v, |b, v| {
+            b.iter(|| {
+                let mut hc = cm2(8);
+                std::hint::black_box(primitives::distribute(&mut hc, v, n, Dist::Cyclic))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_extract_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_extract_insert");
+    g.sample_size(10);
+    for n in [256usize, 1024] {
+        let m = random_dist_matrix(n, square_grid(8));
+        g.bench_with_input(BenchmarkId::new("extract_replicated", n), &m, |b, m| {
+            b.iter(|| {
+                let mut hc = cm2(8);
+                std::hint::black_box(primitives::extract_replicated(&mut hc, m, Axis::Row, n / 2))
+            });
+        });
+        let v = random_aligned_vector(&m, Axis::Row);
+        g.bench_with_input(BenchmarkId::new("insert", n), &(m, v), |b, (m, v)| {
+            b.iter(|| {
+                let mut m2 = (*m).clone();
+                let mut hc = cm2(8);
+                primitives::insert(&mut hc, &mut m2, Axis::Row, n / 3, v);
+                std::hint::black_box(m2)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_machine_scaling(c: &mut Criterion) {
+    // T2's axis: same matrix, growing machine.
+    let mut g = c.benchmark_group("t2_reduce_scaling");
+    g.sample_size(10);
+    for dim in [4u32, 8, 10] {
+        let m = random_dist_matrix(512, square_grid(dim));
+        g.bench_with_input(BenchmarkId::from_parameter(1usize << dim), &m, |b, m| {
+            b.iter(|| {
+                let mut hc = cm2(dim);
+                std::hint::black_box(primitives::reduce(&mut hc, m, Axis::Row, Sum))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reduce,
+    bench_distribute,
+    bench_extract_insert,
+    bench_machine_scaling
+);
+criterion_main!(benches);

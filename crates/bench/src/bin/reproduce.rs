@@ -1,0 +1,68 @@
+//! Regenerate every table and figure of the reproduced evaluation.
+//!
+//! ```text
+//! cargo run --release -p vmp-bench --bin reproduce            # everything
+//! cargo run --release -p vmp-bench --bin reproduce -- t1 f4   # a subset
+//! cargo run --release -p vmp-bench --bin reproduce -- --json out.json
+//! ```
+
+use std::io::Write;
+
+use vmp_bench::experiments::{self, ALL_IDS};
+use vmp_bench::table::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            json_path = it.next();
+            if json_path.is_none() {
+                eprintln!("--json requires a path");
+                std::process::exit(2);
+            }
+        } else if a == "--help" || a == "-h" {
+            eprintln!("usage: reproduce [--json PATH] [t1 t2 t3 t4 t5 f1 f2 f3 f4 ...]");
+            return;
+        } else {
+            ids.push(a);
+        }
+    }
+    if ids.is_empty() {
+        ids = ALL_IDS.iter().map(ToString::to_string).collect();
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(
+        out,
+        "Four Vector-Matrix Primitives (SPAA 1989) — evaluation reproduction\n\
+         machine: simulated CM-2-model hypercube (see crates/hypercube/src/cost.rs)\n"
+    )
+    .expect("stdout");
+
+    let mut tables: Vec<Table> = Vec::new();
+    for id in &ids {
+        match experiments::run(id) {
+            Some(t) => {
+                writeln!(out, "{}", t.render()).expect("stdout");
+                tables.push(t);
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (known: {ALL_IDS:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&tables).expect("serialisable tables");
+        std::fs::write(&path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        writeln!(out, "wrote {} tables to {path}", tables.len()).expect("stdout");
+    }
+}

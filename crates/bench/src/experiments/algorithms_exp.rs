@@ -1,0 +1,134 @@
+//! T4 — end-to-end algorithm timings (Gaussian elimination, simplex).
+
+use vmp_algos::serial::SimplexStatus;
+use vmp_algos::{gauss, simplex, workloads};
+use vmp_core::prelude::*;
+
+use crate::common::{cm2, square_grid};
+use crate::table::{fmt_us, fmt_x, Table};
+
+/// Simulated serial time of an `n^3/3`-flop elimination under the same
+/// cost model (the "best serial algorithm" term).
+#[must_use]
+pub fn serial_ge_us(n: usize, cost: &CostModel) -> f64 {
+    cost.gamma * (2.0 * (n as f64).powi(3) / 3.0)
+}
+
+/// `(simulated parallel us, row swaps)` for a full GE solve of a random
+/// diagonally dominant system.
+#[must_use]
+pub fn ge_time(n: usize, dim: u32, cyclic: bool) -> (f64, usize) {
+    let (a, b, _) = workloads::diag_dominant_system(n, n as u64);
+    let grid = square_grid(dim);
+    let mut hc = cm2(dim);
+    let layout = if cyclic {
+        MatrixLayout::cyclic(MatShape::new(n, n + 1), grid)
+    } else {
+        MatrixLayout::block(MatShape::new(n, n + 1), grid)
+    };
+    let mut aug = DistMatrix::from_fn(layout, |i, j| if j < n { a.get(i, j) } else { b[i] });
+    let stats = gauss::ge_solve_dist(&mut hc, &mut aug).expect("diag dominant");
+    (hc.elapsed_us(), stats.1.row_swaps)
+}
+
+/// `(simulated parallel us, pivots)` for a simplex solve to optimality.
+#[must_use]
+pub fn simplex_time(m: usize, n: usize, dim: u32, seed: u64) -> (f64, usize) {
+    let lp = workloads::random_dense_lp(m, n, seed);
+    let mut hc = cm2(dim);
+    let r = simplex::solve_parallel(&mut hc, &lp, square_grid(dim), 10_000);
+    assert_eq!(r.status, SimplexStatus::Optimal);
+    (hc.elapsed_us(), r.iterations)
+}
+
+/// T4: full-algorithm timings on the CM-2 model.
+#[must_use]
+pub fn t4() -> Table {
+    let dim = 10u32;
+    let cost = CostModel::cm2();
+    let mut t = Table::new(
+        "T4",
+        "algorithm timings (p = 1024, CM-2 model)",
+        "\"We give Connection Machine timings for ... the algorithms\"",
+        &["algorithm", "n", "parallel", "serial model", "speedup", "detail"],
+    );
+    for n in [32usize, 64, 128, 256] {
+        let (t_par, swaps) = ge_time(n, dim, true);
+        let t_ser = serial_ge_us(n, &cost);
+        t.row(vec![
+            "Gaussian elimination (cyclic)".into(),
+            n.to_string(),
+            fmt_us(t_par),
+            fmt_us(t_ser),
+            fmt_x(t_ser / t_par),
+            format!("{swaps} row swaps"),
+        ]);
+    }
+    // Layout ablation: block layout concentrates the shrinking active
+    // submatrix (the motivation for cyclic embeddings). Run at p = 64,
+    // where the per-step local work is large enough that load balance —
+    // not communication start-up — is the visible term.
+    for n in [256usize, 512] {
+        let (t_cyc, _) = ge_time(n, 6, true);
+        let (t_blk, _) = ge_time(n, 6, false);
+        t.row(vec![
+            "GE layout ablation (p=64)".into(),
+            n.to_string(),
+            fmt_us(t_cyc),
+            fmt_us(t_blk),
+            fmt_x(t_blk / t_cyc),
+            "cyclic vs block".into(),
+        ]);
+    }
+    for (m, n) in [(32usize, 32usize), (64, 64), (128, 128)] {
+        let (t_par, pivots) = simplex_time(m, n, dim, 5);
+        // Serial model: pivots * full tableau update flops.
+        let width = (n + m + 1) as f64;
+        let t_ser = pivots as f64 * cost.gamma * 2.0 * (m as f64 + 1.0) * width;
+        t.row(vec![
+            "simplex (random LP)".into(),
+            n.to_string(),
+            fmt_us(t_par),
+            fmt_us(t_ser),
+            fmt_x(t_ser / t_par),
+            format!("{pivots} pivots"),
+        ]);
+    }
+    t.note("speedup = serial model / simulated parallel; communication start-ups bound it well below p at these sizes");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmp_algos::serial::simplex_solve;
+
+    #[test]
+    fn ge_scales_and_cyclic_beats_block() {
+        let (t64, _) = ge_time(64, 6, true);
+        let (t128, _) = ge_time(128, 6, true);
+        assert!(t128 > t64, "bigger systems cost more");
+        let (t_cyc, _) = ge_time(96, 6, true);
+        let (t_blk, _) = ge_time(96, 6, false);
+        assert!(
+            t_blk > t_cyc,
+            "block layout idles processors as elimination shrinks: cyclic {t_cyc} vs block {t_blk}"
+        );
+    }
+
+    #[test]
+    fn simplex_time_is_positive_and_counts_pivots() {
+        let (t, pivots) = simplex_time(16, 16, 4, 3);
+        assert!(t > 0.0);
+        assert!(pivots > 0);
+    }
+
+    #[test]
+    fn serial_solver_agrees_with_parallel_objective() {
+        let lp = workloads::random_dense_lp(20, 20, 8);
+        let s = simplex_solve(&lp, 10_000);
+        let mut hc = cm2(4);
+        let r = simplex::solve_parallel(&mut hc, &lp, square_grid(4), 10_000);
+        assert_eq!(r.objective, s.objective);
+    }
+}

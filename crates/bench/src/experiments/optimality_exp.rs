@@ -1,0 +1,123 @@
+//! F1 / F2 — the asymptotic-optimality claims as measured curves.
+
+use vmp_algos::vecmat;
+use vmp_core::analysis;
+use vmp_core::elem::Sum;
+use vmp_core::prelude::*;
+use vmp_core::primitives;
+
+use crate::common::{cm2, random_aligned_vector, random_dist_matrix, square_grid};
+use crate::table::{fmt_us, Table};
+
+/// F1: parallel efficiency vs virtual-processing ratio at fixed `p`.
+#[must_use]
+pub fn f1() -> Table {
+    let dim = 10u32;
+    let p = 1usize << dim;
+    let cost = CostModel::cm2();
+    let mut t = Table::new(
+        "F1",
+        "efficiency T_serial/(p*T_par) vs m/p at p = 1024",
+        "\"if there are m > p lg p matrix elements ... asymptotically optimal (processor-time product)\"",
+        &["n", "m", "m/p", "m > p lg p", "eff(reduce)", "eff(vecmat)"],
+    );
+    for n in [32usize, 64, 128, 256, 512, 1024, 2048] {
+        let m = n * n;
+        let grid = square_grid(dim);
+        let a = random_dist_matrix(n, grid);
+
+        let mut hc = cm2(dim);
+        let _ = primitives::reduce(&mut hc, &a, Axis::Row, Sum);
+        let eff_reduce =
+            analysis::efficiency(analysis::serial_reduce_us(m, &cost), p, hc.elapsed_us());
+
+        let x = random_aligned_vector(&a, Axis::Col);
+        let mut hc2 = cm2(dim);
+        let _ = vecmat(&mut hc2, &x, &a);
+        // Serial vecmat: 2m flops (multiply + add).
+        let eff_mv = analysis::efficiency(cost.gamma * 2.0 * m as f64, p, hc2.elapsed_us());
+
+        t.row(vec![
+            n.to_string(),
+            m.to_string(),
+            (m / p).to_string(),
+            if analysis::in_optimal_regime(m, p) { "yes" } else { "no" }.to_string(),
+            format!("{eff_reduce:.3}"),
+            format!("{eff_mv:.3}"),
+        ]);
+    }
+    t.note("p lg p = 10240 here (threshold between n = 64 and n = 128); efficiency climbs toward a constant beyond it");
+    t
+}
+
+/// F2: parallel time vs machine size at fixed `m`, against the
+/// `Omega(m/p + lg p)` lower bound.
+#[must_use]
+pub fn f2() -> Table {
+    let n = 512usize;
+    let cost = CostModel::cm2();
+    let mut t = Table::new(
+        "F2",
+        "T_par vs p at fixed n = 512, against Omega(m/p + lg p)",
+        "\"the parallel time required is optimal to within a constant factor\"",
+        &["p", "reduce", "distribute", "lower bound", "reduce/bound"],
+    );
+    for dim in [0u32, 2, 4, 6, 8, 10, 12] {
+        let p = 1usize << dim;
+        let grid = square_grid(dim);
+        let a = random_dist_matrix(n, grid);
+
+        let mut hc = cm2(dim);
+        let v = primitives::reduce(&mut hc, &a, Axis::Row, Sum);
+        let t_reduce = hc.elapsed_us();
+
+        hc.reset();
+        let _ = primitives::distribute(&mut hc, &v, n, a.layout().rows().kind());
+        let t_distribute = hc.elapsed_us();
+
+        // A row-wise reduce combines across the 2^{d_r} grid rows only,
+        // so its latency diameter is d_r.
+        let lb = analysis::lower_bound_dims(n * n, p, a.layout().grid().dr(), &cost);
+        t.row(vec![
+            p.to_string(),
+            fmt_us(t_reduce),
+            fmt_us(t_distribute),
+            fmt_us(lb),
+            format!("{:.2}", t_reduce / lb),
+        ]);
+    }
+    t.note("the ratio to the bound stays O(1) across four decades of p — claim 3's shape");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_grows_with_vp_ratio() {
+        let dim = 6u32;
+        let p = 1usize << dim;
+        let cost = CostModel::cm2();
+        let eff = |n: usize| {
+            let a = random_dist_matrix(n, square_grid(dim));
+            let mut hc = cm2(dim);
+            let _ = primitives::reduce(&mut hc, &a, Axis::Row, Sum);
+            analysis::efficiency(analysis::serial_reduce_us(n * n, &cost), p, hc.elapsed_us())
+        };
+        assert!(eff(256) > eff(32), "efficiency climbs with m/p");
+    }
+
+    #[test]
+    fn reduce_stays_within_constant_of_lower_bound() {
+        let n = 128usize;
+        let cost = CostModel::cm2();
+        for dim in [0u32, 4, 8] {
+            let a = random_dist_matrix(n, square_grid(dim));
+            let mut hc = cm2(dim);
+            let _ = primitives::reduce(&mut hc, &a, Axis::Row, Sum);
+            let lb = analysis::lower_bound(n * n, 1 << dim, &cost);
+            assert!(hc.elapsed_us() / lb < 15.0, "dim {dim}: ratio {}", hc.elapsed_us() / lb);
+        }
+    }
+}

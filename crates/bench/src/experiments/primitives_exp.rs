@@ -1,0 +1,124 @@
+//! T1 / T2 — Connection Machine timings for the four primitives.
+
+use vmp_core::elem::Sum;
+use vmp_core::prelude::*;
+use vmp_core::primitives;
+
+use crate::common::{cm2, random_dist_matrix, square_grid};
+use crate::table::{fmt_us, Table};
+
+/// Simulated time of each primitive on an `n x n` matrix on a `dim`-cube.
+/// Returns `(reduce, distribute, extract, extract_replicated, insert)`.
+#[must_use]
+pub fn primitive_times(n: usize, dim: u32) -> (f64, f64, f64, f64, f64) {
+    let grid = square_grid(dim);
+    let m = random_dist_matrix(n, grid);
+    let mut hc = cm2(dim);
+
+    hc.reset();
+    let v = primitives::reduce(&mut hc, &m, Axis::Row, Sum);
+    let t_reduce = hc.elapsed_us();
+
+    hc.reset();
+    let _ = primitives::distribute(&mut hc, &v, n, m.layout().rows().kind());
+    let t_distribute = hc.elapsed_us();
+
+    hc.reset();
+    let _ = primitives::extract(&mut hc, &m, Axis::Row, n / 2);
+    let t_extract = hc.elapsed_us();
+
+    hc.reset();
+    let row = primitives::extract_replicated(&mut hc, &m, Axis::Row, n / 2);
+    let t_extract_rep = hc.elapsed_us();
+
+    let mut m2 = m.clone();
+    hc.reset();
+    primitives::insert(&mut hc, &mut m2, Axis::Row, n / 3, &row);
+    let t_insert = hc.elapsed_us();
+
+    (t_reduce, t_distribute, t_extract, t_extract_rep, t_insert)
+}
+
+/// T1: primitive timings vs matrix size at fixed machine size (`p = 2^10`).
+#[must_use]
+pub fn t1() -> Table {
+    let dim = 10u32;
+    let mut t = Table::new(
+        "T1",
+        "primitive timings vs matrix size (p = 1024, CM-2 model)",
+        "\"We give Connection Machine timings for the primitives\"",
+        &["n", "m", "m/p", "reduce", "distribute", "extract", "extract+rep", "insert"],
+    );
+    for n in [64usize, 128, 256, 512, 1024, 2048] {
+        let (r, d, e, er, i) = primitive_times(n, dim);
+        t.row(vec![
+            n.to_string(),
+            (n * n).to_string(),
+            (n * n / (1 << dim)).to_string(),
+            fmt_us(r),
+            fmt_us(d),
+            fmt_us(e),
+            fmt_us(er),
+            fmt_us(i),
+        ]);
+    }
+    t.note("reduce/distribute grow with m/p (local term); extract stays O(n/p_c): embedding-local");
+    t
+}
+
+/// T2: primitive timings vs machine size at fixed matrix size (`n = 1024`).
+#[must_use]
+pub fn t2() -> Table {
+    let n = 1024usize;
+    let mut t = Table::new(
+        "T2",
+        "primitive timings vs machine size (n = 1024, CM-2 model)",
+        "\"specifying parallel matrix algorithms independently of machine size\"",
+        &["p", "m/p", "reduce", "distribute", "extract", "extract+rep", "insert"],
+    );
+    for dim in [6u32, 8, 10, 12] {
+        let (r, d, e, er, i) = primitive_times(n, dim);
+        t.row(vec![
+            (1usize << dim).to_string(),
+            (n * n / (1 << dim)).to_string(),
+            fmt_us(r),
+            fmt_us(d),
+            fmt_us(e),
+            fmt_us(er),
+            fmt_us(i),
+        ]);
+    }
+    t.note("the m/p local term shrinks with p until the lg p start-up term dominates");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t1_shapes_hold() {
+        // Small replica of T1's shape claims to keep the test quick.
+        let (r64, d64, e64, _, _) = primitive_times(64, 6);
+        let (r256, d256, e256, _, _) = primitive_times(256, 6);
+        assert!(r256 > r64, "reduce grows with m/p");
+        assert!(d256 > d64, "distribute grows with m/p");
+        assert!(e256 >= e64, "extract grows (slowly) with n/p_c");
+        // Extract is far cheaper than reduce at the same size.
+        assert!(e256 < r256 / 4.0, "extract {e256} vs reduce {r256}");
+    }
+
+    #[test]
+    fn t2_machine_scaling_holds() {
+        let (r_small, ..) = primitive_times(256, 4);
+        let (r_big, ..) = primitive_times(256, 8);
+        assert!(r_big < r_small, "more processors shrink the local term");
+    }
+
+    #[test]
+    fn tables_render() {
+        // Smoke-render with tiny sizes via the private helpers.
+        let (r, d, e, er, i) = primitive_times(32, 4);
+        assert!(r > 0.0 && d > 0.0 && e > 0.0 && er > e && i > 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Plain-text table rendering for the reproduction harness.
+
+use serde::Serialize;
+
+/// One reproduced table or figure series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment identifier (`T1` … `F4`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The abstract sentence this experiment reproduces.
+    pub claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form observations appended under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    #[must_use]
+    pub fn new(id: &str, title: &str, claim: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            claim: claim.to_string(),
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as aligned text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        out.push_str(&format!("   claim: {}\n", self.claim));
+        let line = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&format!("   {}\n", line(&self.headers)));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&format!("   {}\n", "-".repeat(total)));
+        for row in &self.rows {
+            out.push_str(&format!("   {}\n", line(row)));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("   note: {n}\n"));
+        }
+        out
+    }
+}
+
+/// Format microseconds as a human-scaled duration.
+#[must_use]
+pub fn fmt_us(us: f64) -> String {
+    if us >= 1e6 {
+        format!("{:.2}s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.2}ms", us / 1e3)
+    } else {
+        format!("{us:.1}us")
+    }
+}
+
+/// Format a dimensionless ratio.
+#[must_use]
+pub fn fmt_x(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("T0", "demo", "none", &["n", "time"]);
+        t.row(vec!["8".into(), "1.0us".into()]);
+        t.row(vec!["1024".into(), "123.45ms".into()]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("T0"));
+        assert!(s.contains("claim: none"));
+        assert!(s.contains("note: a note"));
+        // All data lines equal length (alignment).
+        let lines: Vec<&str> = s
+            .lines()
+            .filter(|l| l.starts_with("   ") && !l.contains("note:") && !l.contains("claim:"))
+            .collect();
+        let lens: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{lens:?}");
+    }
+
+    #[test]
+    fn fmt_us_scales() {
+        assert_eq!(fmt_us(12.34), "12.3us");
+        assert_eq!(fmt_us(12345.0), "12.35ms");
+        assert_eq!(fmt_us(2_500_000.0), "2.50s");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("T0", "demo", "none", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,139 @@
+//! One-to-all broadcast within subcubes (spanning binomial tree).
+
+use super::check_dims;
+use crate::machine::Hypercube;
+use crate::topology::NodeId;
+
+/// Broadcast, within every subcube spanned by `dims`, the buffer of the
+/// node at subcube coordinate `root_coord` to all other subcube members
+/// (overwriting their buffers).
+///
+/// Runs the classic spanning-binomial-tree schedule: `|dims|` supersteps,
+/// step `j` doubling the set of informed nodes along `dims[j]`. Time
+/// `|dims| * (alpha + beta * L)` for buffers of length `L` — the
+/// one-port-optimal start-up count.
+///
+/// # Panics
+/// Panics if `dims` is invalid or `root_coord >= 2^{|dims|}`.
+pub fn broadcast<T: Clone>(
+    hc: &mut Hypercube,
+    locals: &mut [Vec<T>],
+    dims: &[u32],
+    root_coord: usize,
+) {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    let k = dims.len();
+    assert!(root_coord < (1usize << k), "root coordinate out of range");
+    assert_eq!(locals.len(), cube.nodes());
+    if k == 0 {
+        return;
+    }
+
+    for j in 0..k {
+        let bit = 1usize << j;
+        // Senders: informed nodes, i.e. relative coordinate x < 2^j.
+        let mut transfers: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut max_len = 0usize;
+        let mut total: u64 = 0;
+        for node in cube.iter_nodes() {
+            let c = cube.extract_coords(node, dims);
+            let x = c ^ root_coord;
+            if x < bit {
+                let partner = cube.neighbor(node, dims[j]);
+                let len = locals[node].len();
+                max_len = max_len.max(len);
+                total += len as u64;
+                transfers.push((node, partner));
+            }
+        }
+        for (src, dst) in transfers {
+            locals[dst] = locals[src].clone();
+        }
+        hc.charge_message_step(max_len, total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::unit_machine;
+    use super::*;
+
+    #[test]
+    fn broadcast_whole_cube() {
+        let mut hc = unit_machine(4);
+        let dims: Vec<u32> = hc.cube().iter_dims().collect();
+        let mut locals = hc.locals_from_fn(|n| if n == 0 { vec![1.0, 2.0, 3.0] } else { vec![] });
+        broadcast(&mut hc, &mut locals, &dims, 0);
+        for buf in &locals {
+            assert_eq!(buf, &vec![1.0, 2.0, 3.0]);
+        }
+        assert_eq!(hc.counters().message_steps, 4, "d supersteps");
+        assert_eq!(hc.elapsed_us(), 4.0 * (1.0 + 3.0));
+    }
+
+    #[test]
+    fn broadcast_nonzero_root() {
+        let mut hc = unit_machine(3);
+        let dims = [0u32, 1, 2];
+        let root_coord = 5usize;
+        let mut locals = hc.locals_from_fn(|n| if n == 5 { vec![9u32] } else { vec![0] });
+        broadcast(&mut hc, &mut locals, &dims, root_coord);
+        for buf in &locals {
+            assert_eq!(buf, &vec![9u32]);
+        }
+    }
+
+    #[test]
+    fn broadcast_within_row_subcubes_only() {
+        // Cube of dim 4 seen as a 4x4 grid: dims {0,1} = columns within a
+        // row, dims {2,3} = rows. Broadcast along {0,1} from coord 0
+        // spreads each row-leader's value across its row only.
+        let mut hc = unit_machine(4);
+        let row_dims = [0u32, 1];
+        let mut locals = hc.locals_from_fn(|n| vec![(n >> 2) as u32 * 100]); // row id * 100
+        // Give non-leaders junk to prove it is overwritten.
+        for n in hc.cube().iter_nodes() {
+            if hc.cube().extract_coords(n, &row_dims) != 0 {
+                locals[n] = vec![u32::MAX];
+            }
+        }
+        broadcast(&mut hc, &mut locals, &row_dims, 0);
+        for n in hc.cube().iter_nodes() {
+            let row = n >> 2;
+            assert_eq!(locals[n], vec![row as u32 * 100], "node {n}");
+        }
+        assert_eq!(hc.counters().message_steps, 2);
+    }
+
+    #[test]
+    fn broadcast_empty_dims_is_noop() {
+        let mut hc = unit_machine(3);
+        let mut locals = hc.locals_from_fn(|n| vec![n]);
+        let before = locals.clone();
+        broadcast(&mut hc, &mut locals, &[], 0);
+        assert_eq!(locals, before);
+        assert_eq!(hc.elapsed_us(), 0.0);
+    }
+
+    #[test]
+    fn broadcast_noncontiguous_dims() {
+        let mut hc = unit_machine(5);
+        let dims = [1u32, 4];
+        // Roots: nodes with bits 1 and 4 equal to root_coord=0b10 -> bit1=0, bit4=1.
+        let mut locals = hc.locals_from_fn(|n| vec![n]);
+        broadcast(&mut hc, &mut locals, &dims, 0b10);
+        for n in hc.cube().iter_nodes() {
+            let root = hc.cube().with_coords(n, 0b10, &dims);
+            assert_eq!(locals[n], vec![root], "node {n} gets its subcube root's value");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "root coordinate out of range")]
+    fn bad_root_panics() {
+        let mut hc = unit_machine(3);
+        let mut locals: Vec<Vec<u8>> = hc.empty_locals();
+        broadcast(&mut hc, &mut locals, &[0, 1], 4);
+    }
+}

@@ -1,0 +1,71 @@
+//! Pairwise exchange along one cube dimension.
+
+use crate::machine::Hypercube;
+
+/// Every node receives a copy of its `dim`-neighbour's buffer (keeping
+/// its own): the primitive step of butterfly algorithms (FFT stages,
+/// bitonic compare-exchange, all-reduce). One superstep,
+/// `alpha + beta * L` on full-duplex channels.
+///
+/// # Panics
+/// Panics if `dim` is out of range.
+pub fn exchange<T: Clone>(hc: &mut Hypercube, locals: &[Vec<T>], dim: u32) -> Vec<Vec<T>> {
+    let cube = hc.cube();
+    assert!(dim < cube.dim(), "dimension {dim} out of range for cube of dim {}", cube.dim());
+    assert_eq!(locals.len(), cube.nodes());
+    let bit = 1usize << dim;
+    let mut max_len = 0usize;
+    let mut total: u64 = 0;
+    let out: Vec<Vec<T>> = (0..cube.nodes())
+        .map(|node| {
+            let buf = &locals[node ^ bit];
+            max_len = max_len.max(buf.len());
+            total += buf.len() as u64;
+            buf.clone()
+        })
+        .collect();
+    hc.charge_message_step(max_len, total);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::unit_machine;
+    use super::*;
+
+    #[test]
+    fn exchange_swaps_buffers() {
+        let mut hc = unit_machine(3);
+        let locals = hc.locals_from_fn(|n| vec![n as u64; n % 3]);
+        let got = exchange(&mut hc, &locals, 1);
+        for node in 0..8 {
+            assert_eq!(got[node], locals[node ^ 2], "node {node}");
+        }
+        assert_eq!(hc.counters().message_steps, 1);
+    }
+
+    #[test]
+    fn exchange_cost_is_one_superstep_of_the_longest_buffer() {
+        let mut hc = unit_machine(2);
+        let locals = hc.locals_from_fn(|n| vec![0u8; if n == 0 { 7 } else { 2 }]);
+        let _ = exchange(&mut hc, &locals, 0);
+        assert_eq!(hc.elapsed_us(), 1.0 + 7.0, "alpha + beta * max_len");
+    }
+
+    #[test]
+    fn double_exchange_restores() {
+        let mut hc = unit_machine(4);
+        let locals = hc.locals_from_fn(|n| vec![n]);
+        let once = exchange(&mut hc, &locals, 3);
+        let twice = exchange(&mut hc, &once, 3);
+        assert_eq!(twice, locals);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_dim_panics() {
+        let mut hc = unit_machine(2);
+        let locals: Vec<Vec<u8>> = hc.empty_locals();
+        let _ = exchange(&mut hc, &locals, 2);
+    }
+}

@@ -1,0 +1,285 @@
+//! Gather, scatter and all-gather within subcubes.
+//!
+//! Concatenation/segmentation order is subcube **coordinate order**. The
+//! gather/scatter roots are at subcube coordinate 0 (callers needing a
+//! different root compose with a routed move — none of the primitives do).
+
+use super::check_dims;
+use crate::machine::Hypercube;
+
+/// All-gather within every subcube spanned by `dims`: every member ends
+/// holding the concatenation of all members' buffers in coordinate order.
+///
+/// Recursive doubling: step `j` exchanges the current accumulation along
+/// `dims[j]`, so time is `sum_j (alpha + beta * L_j)` with `L_j`
+/// doubling — `|dims| * alpha + beta * (total - own)` overall, the
+/// one-port lower bound to within a constant.
+pub fn allgather<T: Clone>(hc: &mut Hypercube, locals: &mut [Vec<T>], dims: &[u32]) {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    assert_eq!(locals.len(), cube.nodes());
+
+    for (j, &d) in dims.iter().enumerate() {
+        let chan = 1usize << d;
+        let _ = j;
+        let mut max_len = 0usize;
+        let mut total: u64 = 0;
+        for node in cube.iter_nodes() {
+            if node & chan != 0 {
+                continue;
+            }
+            let partner = node | chan;
+            let lo_len = locals[node].len();
+            let hi_len = locals[partner].len();
+            max_len = max_len.max(lo_len.max(hi_len));
+            total += (lo_len + hi_len) as u64;
+            // Lower node appends upper's buffer; upper node prepends
+            // lower's — both end with coordinate order.
+            let (lo_part, hi_part) = locals.split_at_mut(partner);
+            let lo = &mut lo_part[node];
+            let hi = &mut hi_part[0];
+            let mut merged = Vec::with_capacity(lo.len() + hi.len());
+            merged.extend_from_slice(lo);
+            merged.extend_from_slice(hi);
+            *lo = merged.clone();
+            *hi = merged;
+        }
+        hc.charge_message_step(max_len, total);
+    }
+}
+
+/// Gather to subcube coordinate 0: the root ends holding the
+/// concatenation of all members' buffers in coordinate order; every other
+/// member's buffer is consumed (left empty).
+///
+/// Reverse binomial tree: at step `j` the nodes whose coordinate is an odd
+/// multiple of `2^j` forward their accumulation down dimension `dims[j]`.
+pub fn gather<T>(hc: &mut Hypercube, locals: &mut [Vec<T>], dims: &[u32]) {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    assert_eq!(locals.len(), cube.nodes());
+
+    for (j, &d) in dims.iter().enumerate() {
+        let bit = 1usize << j;
+        let chan = 1usize << d;
+        let mut max_len = 0usize;
+        let mut total: u64 = 0;
+        let mut sends: Vec<(usize, usize)> = Vec::new();
+        for node in cube.iter_nodes() {
+            let c = cube.extract_coords(node, dims);
+            // Senders this step: coordinate has bit j set, bits < j clear.
+            if c & bit != 0 && c & (bit - 1) == 0 {
+                let dst = node ^ chan;
+                let len = locals[node].len();
+                max_len = max_len.max(len);
+                total += len as u64;
+                sends.push((node, dst));
+            }
+        }
+        for (src, dst) in sends {
+            let mut sent = std::mem::take(&mut locals[src]);
+            locals[dst].append(&mut sent);
+        }
+        hc.charge_message_step(max_len, total);
+    }
+}
+
+/// Scatter from subcube coordinate 0: the root's `segments` (one per
+/// coordinate, in coordinate order) are distributed so that the member at
+/// coordinate `c` ends holding `segments[c]` as its buffer. Non-root
+/// buffers are overwritten; the root keeps `segments[0]`.
+///
+/// # Panics
+/// Panics unless `segments.len() == 2^{|dims|}` at every subcube root
+/// (roots are identified by coordinate 0; pass `segments[node]` empty
+/// `Vec`s elsewhere — they are ignored).
+pub fn scatter<T>(
+    hc: &mut Hypercube,
+    segments: Vec<Vec<Vec<T>>>,
+    dims: &[u32],
+) -> Vec<Vec<T>> {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    let k = dims.len();
+    assert_eq!(segments.len(), cube.nodes());
+
+    // holdings[node] = (first_coord, segments for coords [first, first + len))
+    let mut holdings: Vec<Vec<Vec<T>>> = Vec::with_capacity(cube.nodes());
+    for (node, segs) in segments.into_iter().enumerate() {
+        let c = cube.extract_coords(node, dims);
+        if c == 0 {
+            assert_eq!(segs.len(), 1usize << k, "root must supply 2^k segments");
+            holdings.push(segs);
+        } else {
+            assert!(segs.is_empty(), "non-root nodes must not supply segments");
+            holdings.push(Vec::new());
+        }
+    }
+
+    for j in (0..k).rev() {
+        let bit = 1usize << j;
+        let chan = 1usize << dims[j];
+        let mut max_len = 0usize;
+        let mut total: u64 = 0;
+        let mut sends: Vec<(usize, usize, Vec<Vec<T>>)> = Vec::new();
+        for node in cube.iter_nodes() {
+            let c = cube.extract_coords(node, dims);
+            // Holders this step: bits <= j of the coordinate all clear.
+            if c & ((bit << 1) - 1) == 0 && !holdings[node].is_empty() {
+                // Send the upper half of held segments to the neighbour.
+                let upper = holdings[node].split_off(bit);
+                let len: usize = upper.iter().map(Vec::len).sum();
+                max_len = max_len.max(len);
+                total += len as u64;
+                sends.push((node, node ^ chan, upper));
+            }
+        }
+        for (_src, dst, segs) in sends {
+            holdings[dst] = segs;
+        }
+        hc.charge_message_step(max_len, total);
+    }
+
+    holdings
+        .into_iter()
+        .map(|mut segs| if segs.is_empty() { Vec::new() } else { segs.swap_remove(0) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::unit_machine;
+    use super::*;
+
+    #[test]
+    fn allgather_concatenates_in_coordinate_order() {
+        let mut hc = unit_machine(3);
+        let dims = [0u32, 1, 2];
+        let mut locals = hc.locals_from_fn(|n| vec![n as u32, 100 + n as u32]);
+        allgather(&mut hc, &mut locals, &dims);
+        let expected: Vec<u32> = (0..8).flat_map(|n| [n, 100 + n]).collect();
+        for n in 0..8 {
+            assert_eq!(locals[n], expected, "node {n}");
+        }
+        assert_eq!(hc.counters().message_steps, 3);
+    }
+
+    #[test]
+    fn allgather_ragged_buffers() {
+        let mut hc = unit_machine(2);
+        let dims = [0u32, 1];
+        let mut locals = hc.locals_from_fn(|n| vec![n as u8; n]);
+        allgather(&mut hc, &mut locals, &dims);
+        let expected: Vec<u8> = (0..4).flat_map(|n| vec![n as u8; n]).collect();
+        for n in 0..4 {
+            assert_eq!(locals[n], expected);
+        }
+    }
+
+    #[test]
+    fn allgather_within_rows() {
+        // dim-4 cube as 4x4 grid, row dims {0,1}: each row gathers its own.
+        let mut hc = unit_machine(4);
+        let dims = [0u32, 1];
+        let mut locals = hc.locals_from_fn(|n| vec![n]);
+        allgather(&mut hc, &mut locals, &dims);
+        for n in 0..16usize {
+            let row = n >> 2 << 2;
+            assert_eq!(locals[n], vec![row, row + 1, row + 2, row + 3]);
+        }
+    }
+
+    #[test]
+    fn gather_concentrates_at_coordinate_zero() {
+        let mut hc = unit_machine(3);
+        let dims = [0u32, 1, 2];
+        let mut locals = hc.locals_from_fn(|n| vec![n as u16]);
+        gather(&mut hc, &mut locals, &dims);
+        assert_eq!(locals[0], (0..8).collect::<Vec<u16>>());
+        for n in 1..8 {
+            assert!(locals[n].is_empty(), "node {n} consumed");
+        }
+        assert_eq!(hc.counters().message_steps, 3);
+    }
+
+    #[test]
+    fn gather_subset_dims_keeps_other_subcubes_separate() {
+        let mut hc = unit_machine(3);
+        let dims = [1u32, 2]; // gather within each {bit0}-indexed subcube
+        let mut locals = hc.locals_from_fn(|n| vec![n as u16]);
+        gather(&mut hc, &mut locals, &dims);
+        assert_eq!(locals[0], vec![0, 2, 4, 6]);
+        assert_eq!(locals[1], vec![1, 3, 5, 7]);
+        for n in 2..8 {
+            assert!(locals[n].is_empty());
+        }
+    }
+
+    #[test]
+    fn scatter_delivers_segments_in_coordinate_order() {
+        let mut hc = unit_machine(3);
+        let dims = [0u32, 1, 2];
+        let segments: Vec<Vec<Vec<u32>>> = (0..8)
+            .map(|n| {
+                if n == 0 {
+                    (0..8).map(|c| vec![c * 10, c * 10 + 1]).collect()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let locals = scatter(&mut hc, segments, &dims);
+        for c in 0..8u32 {
+            assert_eq!(locals[c as usize], vec![c * 10, c * 10 + 1], "coord {c}");
+        }
+        assert_eq!(hc.counters().message_steps, 3);
+    }
+
+    #[test]
+    fn scatter_then_gather_roundtrips() {
+        let mut hc = unit_machine(4);
+        let dims = [0u32, 1, 2, 3];
+        let original: Vec<Vec<u64>> = (0..16).map(|c| vec![c as u64; (c % 3) + 1]).collect();
+        let segments: Vec<Vec<Vec<u64>>> =
+            (0..16).map(|n| if n == 0 { original.clone() } else { Vec::new() }).collect();
+        let mut locals = scatter(&mut hc, segments, &dims);
+        for c in 0..16usize {
+            assert_eq!(locals[c], original[c]);
+        }
+        gather(&mut hc, &mut locals, &dims);
+        let flat: Vec<u64> = original.into_iter().flatten().collect();
+        assert_eq!(locals[0], flat);
+    }
+
+    #[test]
+    fn scatter_within_columns() {
+        // 4x4 grid, column dims {2,3}: each column root (nodes 0..4)
+        // scatters 4 segments down its column.
+        let mut hc = unit_machine(4);
+        let dims = [2u32, 3];
+        let segments: Vec<Vec<Vec<usize>>> = (0..16)
+            .map(|n| {
+                if n < 4 {
+                    (0..4).map(|c| vec![n * 100 + c]).collect()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let locals = scatter(&mut hc, segments, &dims);
+        for n in 0..16usize {
+            let col = n & 0b11;
+            let row = n >> 2;
+            assert_eq!(locals[n], vec![col * 100 + row], "node {n}");
+        }
+    }
+
+    #[test]
+    fn allgather_empty_dims_is_noop() {
+        let mut hc = unit_machine(2);
+        let mut locals = hc.locals_from_fn(|n| vec![n]);
+        let before = locals.clone();
+        allgather(&mut hc, &mut locals, &[]);
+        assert_eq!(locals, before);
+    }
+}

@@ -1,0 +1,62 @@
+//! Collective communication on subcubes.
+//!
+//! Every routine here operates on a *set of cube dimensions* `dims`: the
+//! machine decomposes into `p / 2^{|dims|}` disjoint subcubes (one per
+//! assignment of the remaining address bits), and the collective runs in
+//! **all subcubes simultaneously** — the natural SPMD shape for row- and
+//! column-wise matrix operations on a 2-D processor grid whose row dims
+//! and column dims are disjoint subsets of the cube dims.
+//!
+//! Within a subcube, a node is identified by its *coordinate*: the packed
+//! value of its address bits at `dims` (see [`Cube::extract_coords`]).
+//! Orderings (scan order, gather concatenation order) are coordinate
+//! order.
+//!
+//! Cost accounting: each routine issues `O(|dims|)` blocked message
+//! supersteps, charging `alpha + beta * L` for the busiest channel plus
+//! `gamma` per critical-path combine, exactly as analysed in Johnsson &
+//! Ho, *Optimum Broadcasting and Personalized Communication in
+//! Hypercubes* (TR-610, reproduced in the source booklet).
+
+mod alltoall;
+mod broadcast;
+mod exchange;
+mod gather;
+mod reduce;
+mod scan;
+
+pub use alltoall::alltoall;
+pub use broadcast::broadcast;
+pub use exchange::exchange;
+pub use gather::{allgather, gather, scatter};
+pub use reduce::{allreduce, reduce};
+pub use scan::{scan_exclusive, scan_inclusive};
+
+use crate::topology::Cube;
+
+/// Validate a dimension subset: all in range and pairwise distinct.
+pub(crate) fn check_dims(cube: Cube, dims: &[u32]) {
+    let mut mask = 0usize;
+    for &d in dims {
+        assert!(d < cube.dim(), "dimension {d} out of range for cube of dim {}", cube.dim());
+        let bit = 1usize << d;
+        assert_eq!(mask & bit, 0, "dimension {d} listed twice");
+        mask |= bit;
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::cost::CostModel;
+    use crate::machine::Hypercube;
+
+    pub fn unit_machine(dim: u32) -> Hypercube {
+        Hypercube::new(dim, CostModel::unit())
+    }
+
+    /// Per-node buffers where node `n` holds `len` copies of `n as f64`
+    /// offset by the element index — distinguishable contents.
+    pub fn labelled_locals(hc: &Hypercube, len: usize) -> Vec<Vec<f64>> {
+        hc.locals_from_fn(|n| (0..len).map(|i| (n * 1000 + i) as f64).collect())
+    }
+}

@@ -1,0 +1,217 @@
+//! All-to-one reduction and all-reduce within subcubes.
+
+use super::check_dims;
+use crate::machine::Hypercube;
+
+/// Reduce, within every subcube spanned by `dims`, the equal-length
+/// buffers of all members elementwise with the **commutative associative**
+/// operator `op`, leaving the result in the buffer of the node at subcube
+/// coordinate `root_coord` and **clearing** every other member's buffer
+/// (their partial contents are meaningless after the exchange).
+///
+/// Reverse spanning-binomial-tree: `|dims|` supersteps, each costing
+/// `alpha + (beta + gamma) * L`.
+///
+/// # Panics
+/// Panics if the buffers within a subcube have different lengths, or on an
+/// invalid `dims`/`root_coord`.
+pub fn reduce<T: Copy>(
+    hc: &mut Hypercube,
+    locals: &mut [Vec<T>],
+    dims: &[u32],
+    root_coord: usize,
+    op: impl Fn(T, T) -> T,
+) {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    let k = dims.len();
+    assert!(root_coord < (1usize << k), "root coordinate out of range");
+    assert_eq!(locals.len(), cube.nodes());
+    if k == 0 {
+        return;
+    }
+
+    for j in (0..k).rev() {
+        let bit = 1usize << j;
+        // Senders: relative coordinate x in [2^j, 2^{j+1}).
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        let mut max_len = 0usize;
+        let mut total: u64 = 0;
+        for node in cube.iter_nodes() {
+            let x = cube.extract_coords(node, dims) ^ root_coord;
+            if x >= bit && x < bit << 1 {
+                let partner = cube.neighbor(node, dims[j]);
+                let len = locals[node].len();
+                max_len = max_len.max(len);
+                total += len as u64;
+                pairs.push((node, partner));
+            }
+        }
+        for (src, dst) in pairs {
+            let sent = std::mem::take(&mut locals[src]);
+            assert_eq!(
+                sent.len(),
+                locals[dst].len(),
+                "reduce requires equal buffer lengths within a subcube"
+            );
+            for (acc, v) in locals[dst].iter_mut().zip(sent) {
+                *acc = op(*acc, v);
+            }
+        }
+        hc.charge_message_step(max_len, total);
+        hc.charge_flops(max_len);
+    }
+}
+
+/// All-reduce within every subcube spanned by `dims`: after the call every
+/// member holds the elementwise `op`-combination of all members' buffers.
+///
+/// Butterfly exchange: `|dims|` supersteps of pairwise exchange+combine,
+/// `alpha + (beta + gamma) * L` each — same time as [`reduce`] but the
+/// result is replicated, which is how a row/column reduction keeps a
+/// vector aligned with the grid (no separate broadcast needed).
+pub fn allreduce<T: Copy>(
+    hc: &mut Hypercube,
+    locals: &mut [Vec<T>],
+    dims: &[u32],
+    op: impl Fn(T, T) -> T,
+) {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    assert_eq!(locals.len(), cube.nodes());
+
+    for &d in dims {
+        let bit = 1usize << d;
+        let mut max_len = 0usize;
+        let mut total: u64 = 0;
+        // Process each pair once: the node with the d-bit clear drives.
+        for node in cube.iter_nodes() {
+            if node & bit != 0 {
+                continue;
+            }
+            let partner = node | bit;
+            assert_eq!(
+                locals[node].len(),
+                locals[partner].len(),
+                "allreduce requires equal buffer lengths within a subcube"
+            );
+            let len = locals[node].len();
+            max_len = max_len.max(len);
+            total += 2 * len as u64;
+            // Split the slice to combine both sides without cloning.
+            let (lo_part, hi_part) = locals.split_at_mut(partner);
+            let lo = &mut lo_part[node];
+            let hi = &mut hi_part[0];
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let combined = op(*a, *b);
+                *a = combined;
+                *b = combined;
+            }
+        }
+        hc.charge_message_step(max_len, total);
+        hc.charge_flops(max_len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{labelled_locals, unit_machine};
+    use super::*;
+
+    #[test]
+    fn reduce_whole_cube_sums() {
+        let mut hc = unit_machine(4);
+        let dims: Vec<u32> = hc.cube().iter_dims().collect();
+        let mut locals = labelled_locals(&hc, 3);
+        let expected: Vec<f64> = (0..3)
+            .map(|i| (0..16).map(|n| (n * 1000 + i) as f64).sum())
+            .collect();
+        reduce(&mut hc, &mut locals, &dims, 0, |a, b| a + b);
+        assert_eq!(locals[0], expected);
+        for n in 1..16 {
+            assert!(locals[n].is_empty(), "non-root buffers cleared");
+        }
+        assert_eq!(hc.counters().message_steps, 4);
+    }
+
+    #[test]
+    fn reduce_to_nonzero_root() {
+        let mut hc = unit_machine(3);
+        let mut locals = hc.locals_from_fn(|n| vec![n as u64]);
+        reduce(&mut hc, &mut locals, &[0, 1, 2], 6, |a, b| a + b);
+        assert_eq!(locals[6], vec![(0..8).sum::<u64>()]);
+    }
+
+    #[test]
+    fn reduce_min_within_columns() {
+        // dims {2,3} reduce over rows of a 4x4 grid: per column minimum.
+        let mut hc = unit_machine(4);
+        let col_dims = [2u32, 3];
+        let mut locals = hc.locals_from_fn(|n| vec![((n * 7919) % 97) as i64]);
+        let expected: Vec<i64> = (0..4)
+            .map(|col| (0..4).map(|row| (((row << 2 | col) * 7919) % 97) as i64).min().unwrap())
+            .collect();
+        reduce(&mut hc, &mut locals, &col_dims, 0, i64::min);
+        for col in 0..4usize {
+            assert_eq!(locals[col], vec![expected[col]], "column {col}");
+        }
+    }
+
+    #[test]
+    fn allreduce_replicates_result_everywhere() {
+        let mut hc = unit_machine(4);
+        let dims: Vec<u32> = hc.cube().iter_dims().collect();
+        let mut locals = labelled_locals(&hc, 2);
+        let expected: Vec<f64> = (0..2)
+            .map(|i| (0..16).map(|n| (n * 1000 + i) as f64).sum())
+            .collect();
+        allreduce(&mut hc, &mut locals, &dims, |a, b| a + b);
+        for n in 0..16 {
+            assert_eq!(locals[n], expected, "node {n}");
+        }
+        assert_eq!(hc.counters().message_steps, 4);
+    }
+
+    #[test]
+    fn allreduce_subcube_independence() {
+        // allreduce along dim {0} only: pairs (2k, 2k+1) sum privately.
+        let mut hc = unit_machine(3);
+        let mut locals = hc.locals_from_fn(|n| vec![n as u64]);
+        allreduce(&mut hc, &mut locals, &[0], |a, b| a + b);
+        for n in 0..8usize {
+            let pair_sum = ((n & !1) + (n | 1)) as u64;
+            assert_eq!(locals[n], vec![pair_sum]);
+        }
+    }
+
+    #[test]
+    fn reduce_and_allreduce_agree() {
+        let mut hc1 = unit_machine(5);
+        let dims: Vec<u32> = hc1.cube().iter_dims().collect();
+        let mut a = hc1.locals_from_fn(|n| vec![(n as f64).sin(); 4]);
+        let mut b = a.clone();
+        reduce(&mut hc1, &mut a, &dims, 0, |x, y| x + y);
+        let mut hc2 = unit_machine(5);
+        allreduce(&mut hc2, &mut b, &dims, |x, y| x + y);
+        for (x, y) in a[0].iter().zip(&b[0]) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reduce_empty_dims_is_noop() {
+        let mut hc = unit_machine(3);
+        let mut locals = hc.locals_from_fn(|n| vec![n as u64]);
+        let before = locals.clone();
+        reduce(&mut hc, &mut locals, &[], 0, |a, b| a + b);
+        assert_eq!(locals, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal buffer lengths")]
+    fn ragged_buffers_panic() {
+        let mut hc = unit_machine(2);
+        let mut locals = hc.locals_from_fn(|n| vec![0u8; n]);
+        reduce(&mut hc, &mut locals, &[0, 1], 0, |a, b| a + b);
+    }
+}

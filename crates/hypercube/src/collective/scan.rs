@@ -1,0 +1,223 @@
+//! Parallel prefix (scan) within subcubes.
+//!
+//! Scans are the signature Connection Machine operation (Blelloch's scan
+//! model); the Gaussian-elimination and simplex applications use them for
+//! index arithmetic and the benchmark harness uses them as a collective
+//! baseline. Order is subcube **coordinate order** (the packed value of
+//! the node's bits at `dims`).
+
+use super::check_dims;
+use crate::machine::Hypercube;
+
+/// Inclusive scan: after the call, the node at coordinate `c` holds the
+/// elementwise `op`-combination of the buffers of coordinates `0..=c`.
+///
+/// Classic hypercube scan maintaining `(prefix, total)`: `|dims|`
+/// supersteps, each `alpha + (beta + 2*gamma) * L`.
+///
+/// `op` must be associative; it need not be commutative (combination
+/// order follows coordinate order).
+pub fn scan_inclusive<T: Copy>(
+    hc: &mut Hypercube,
+    locals: &mut [Vec<T>],
+    dims: &[u32],
+    op: impl Fn(T, T) -> T,
+) {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    assert_eq!(locals.len(), cube.nodes());
+    if dims.is_empty() {
+        return;
+    }
+
+    // running totals per node, consumed by the butterfly
+    let mut totals: Vec<Vec<T>> = locals.to_vec();
+
+    for (j, &d) in dims.iter().enumerate() {
+        let bit_in_coord = 1usize << j;
+        let chan = 1usize << d;
+        let mut max_len = 0usize;
+        let mut total_elems: u64 = 0;
+        // Pairwise exchange of totals along dim d.
+        for node in cube.iter_nodes() {
+            if node & chan != 0 {
+                continue;
+            }
+            let partner = node | chan;
+            let len = totals[node].len();
+            assert_eq!(len, totals[partner].len(), "scan requires equal buffer lengths");
+            max_len = max_len.max(len);
+            total_elems += 2 * len as u64;
+
+            let (lo_part, hi_part) = totals.split_at_mut(partner);
+            let lo_total = &mut lo_part[node];
+            let hi_total = &mut hi_part[0];
+
+            // The node whose coordinate bit j is 1 is "upper": the lower
+            // node's total is a prefix for it.
+            let node_coord = cube.extract_coords(node, dims);
+            debug_assert_eq!(node_coord & bit_in_coord, 0);
+            for i in 0..len {
+                let lo_v = lo_total[i];
+                let hi_v = hi_total[i];
+                let combined = op(lo_v, hi_v);
+                lo_total[i] = combined;
+                hi_total[i] = combined;
+                // Upper node folds the lower subcube's total into its prefix.
+                locals[partner][i] = op(lo_v, locals[partner][i]);
+            }
+        }
+        hc.charge_message_step(max_len, total_elems);
+        hc.charge_flops(2 * max_len);
+    }
+}
+
+/// Exclusive scan with `identity`: coordinate `c` ends with the
+/// combination of coordinates `0..c` (coordinate 0 gets `identity`).
+pub fn scan_exclusive<T: Copy>(
+    hc: &mut Hypercube,
+    locals: &mut [Vec<T>],
+    dims: &[u32],
+    identity: T,
+    op: impl Fn(T, T) -> T,
+) {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    // Save inputs, run inclusive, then shift: exclusive = inclusive "before
+    // my own contribution". We implement it directly with the same
+    // butterfly by seeding prefixes with the identity.
+    let inputs: Vec<Vec<T>> = locals.to_vec();
+    for buf in locals.iter_mut() {
+        for v in buf.iter_mut() {
+            *v = identity;
+        }
+    }
+    // totals start as the inputs
+    let mut totals = inputs;
+    for (j, &d) in dims.iter().enumerate() {
+        let bit_in_coord = 1usize << j;
+        let chan = 1usize << d;
+        let mut max_len = 0usize;
+        let mut total_elems: u64 = 0;
+        for node in cube.iter_nodes() {
+            if node & chan != 0 {
+                continue;
+            }
+            let partner = node | chan;
+            let len = totals[node].len();
+            assert_eq!(len, totals[partner].len(), "scan requires equal buffer lengths");
+            max_len = max_len.max(len);
+            total_elems += 2 * len as u64;
+            let (lo_part, hi_part) = totals.split_at_mut(partner);
+            let lo_total = &mut lo_part[node];
+            let hi_total = &mut hi_part[0];
+            let node_coord = cube.extract_coords(node, dims);
+            debug_assert_eq!(node_coord & bit_in_coord, 0);
+            for i in 0..len {
+                let lo_v = lo_total[i];
+                let hi_v = hi_total[i];
+                let combined = op(lo_v, hi_v);
+                lo_total[i] = combined;
+                hi_total[i] = combined;
+                locals[partner][i] = op(lo_v, locals[partner][i]);
+            }
+        }
+        hc.charge_message_step(max_len, total_elems);
+        hc.charge_flops(2 * max_len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::unit_machine;
+    use super::*;
+
+    #[test]
+    fn inclusive_scan_whole_cube_matches_serial_prefix() {
+        let mut hc = unit_machine(4);
+        let dims: Vec<u32> = hc.cube().iter_dims().collect();
+        let mut locals = hc.locals_from_fn(|n| vec![n as u64, (n * n) as u64]);
+        scan_inclusive(&mut hc, &mut locals, &dims, |a, b| a + b);
+        let mut run0 = 0u64;
+        let mut run1 = 0u64;
+        for n in 0..16u64 {
+            run0 += n;
+            run1 += n * n;
+            assert_eq!(locals[n as usize], vec![run0, run1], "node {n}");
+        }
+        assert_eq!(hc.counters().message_steps, 4);
+    }
+
+    #[test]
+    fn exclusive_scan_matches_shifted_inclusive() {
+        let mut hc = unit_machine(3);
+        let dims: Vec<u32> = hc.cube().iter_dims().collect();
+        let mut locals = hc.locals_from_fn(|n| vec![(n + 1) as i64]);
+        scan_exclusive(&mut hc, &mut locals, &dims, 0, |a, b| a + b);
+        let mut run = 0i64;
+        for n in 0..8usize {
+            assert_eq!(locals[n], vec![run], "node {n}");
+            run += (n + 1) as i64;
+        }
+    }
+
+    #[test]
+    fn scan_respects_subcube_boundaries() {
+        // Scan along dims {1,2} within each pair-of-dims subcube; dim 0
+        // distinguishes two independent scans.
+        let mut hc = unit_machine(3);
+        let dims = [1u32, 2];
+        let mut locals = hc.locals_from_fn(|n| vec![n as u64]);
+        scan_inclusive(&mut hc, &mut locals, &dims, |a, b| a + b);
+        for low_bit in 0..2usize {
+            let mut run = 0u64;
+            for c in 0..4usize {
+                let node = low_bit | (c << 1);
+                run += node as u64;
+                assert_eq!(locals[node], vec![run], "node {node}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_with_noncommutative_op_follows_coordinate_order() {
+        // Affine-map composition: (a, b) represents x -> a*x + b, and
+        // op(f, g) = "f then g" — associative but NOT commutative, so this
+        // detects any ordering mistake in the butterfly.
+        let compose = |f: (i64, i64), g: (i64, i64)| (f.0 * g.0, f.1 * g.0 + g.1);
+        let maps: Vec<(i64, i64)> = (0..8).map(|n| (n % 3 + 1, n - 4)).collect();
+        let mut hc = unit_machine(3);
+        let dims = [0u32, 1, 2];
+        let mut locals = hc.locals_from_fn(|n| vec![maps[n]]);
+        scan_inclusive(&mut hc, &mut locals, &dims, compose);
+        let mut run = (1i64, 0i64); // identity map
+        for n in 0..8usize {
+            run = compose(run, maps[n]);
+            assert_eq!(locals[n], vec![run], "node {n}");
+        }
+    }
+
+    #[test]
+    fn scan_max_gives_running_maximum() {
+        let mut hc = unit_machine(4);
+        let dims: Vec<u32> = hc.cube().iter_dims().collect();
+        let vals: Vec<i64> = (0..16).map(|n| ((n * 7919) % 31) as i64 - 15).collect();
+        let mut locals = hc.locals_from_fn(|n| vec![vals[n]]);
+        scan_inclusive(&mut hc, &mut locals, &dims, i64::max);
+        let mut run = i64::MIN;
+        for n in 0..16 {
+            run = run.max(vals[n]);
+            assert_eq!(locals[n], vec![run]);
+        }
+    }
+
+    #[test]
+    fn empty_dims_scan_is_noop() {
+        let mut hc = unit_machine(2);
+        let mut locals = hc.locals_from_fn(|n| vec![n as u64]);
+        let before = locals.clone();
+        scan_inclusive(&mut hc, &mut locals, &[], |a, b| a + b);
+        assert_eq!(locals, before);
+        assert_eq!(hc.elapsed_us(), 0.0);
+    }
+}

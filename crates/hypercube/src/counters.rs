@@ -1,0 +1,82 @@
+//! Event counters for the simulated machine.
+//!
+//! Beyond the simulated clock, the machine tallies raw communication and
+//! arithmetic events. The counters let tests assert *structural* claims
+//! (e.g. "a reduce over `d_r` dimensions issues exactly `d_r` message
+//! supersteps") independent of the cost constants, and let the benchmark
+//! harness report traffic alongside time.
+
+use serde::{Deserialize, Serialize};
+
+/// Raw event tallies accumulated by a [`crate::machine::Hypercube`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Blocked neighbour-message supersteps executed (one per exchange
+    /// phase, regardless of how many node pairs exchange in parallel).
+    pub message_steps: u64,
+    /// Total elements crossing channels, summed over all channels.
+    pub elements_transferred: u64,
+    /// Maximum elements crossing any single channel in any step (a
+    /// congestion proxy).
+    pub max_channel_load: u64,
+    /// Arithmetic operations charged (max over processors, summed over
+    /// steps — i.e. the critical-path flop count).
+    pub flops: u64,
+    /// Local element moves charged (critical path).
+    pub local_moves: u64,
+    /// Individually-injected router elements (naive baseline only).
+    pub router_elements: u64,
+    /// Router petit cycles consumed (naive baseline only).
+    pub router_cycles: u64,
+}
+
+impl Counters {
+    /// Reset all tallies to zero.
+    pub fn reset(&mut self) {
+        *self = Counters::default();
+    }
+
+    /// Difference `self - earlier`, for bracketing a measured region.
+    #[must_use]
+    pub fn since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            message_steps: self.message_steps - earlier.message_steps,
+            elements_transferred: self.elements_transferred - earlier.elements_transferred,
+            max_channel_load: self.max_channel_load.max(earlier.max_channel_load),
+            flops: self.flops - earlier.flops,
+            local_moves: self.local_moves - earlier.local_moves,
+            router_elements: self.router_elements - earlier.router_elements,
+            router_cycles: self.router_cycles - earlier.router_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let c = Counters::default();
+        assert_eq!(c.message_steps, 0);
+        assert_eq!(c.elements_transferred, 0);
+        assert_eq!(c.flops, 0);
+    }
+
+    #[test]
+    fn since_subtracts_monotone_fields() {
+        let early = Counters { message_steps: 2, elements_transferred: 10, flops: 5, ..Default::default() };
+        let late = Counters { message_steps: 7, elements_transferred: 30, flops: 9, ..Default::default() };
+        let d = late.since(&early);
+        assert_eq!(d.message_steps, 5);
+        assert_eq!(d.elements_transferred, 20);
+        assert_eq!(d.flops, 4);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = Counters { message_steps: 3, router_cycles: 9, ..Default::default() };
+        c.reset();
+        assert_eq!(c, Counters::default());
+    }
+}

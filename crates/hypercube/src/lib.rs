@@ -1,0 +1,45 @@
+//! # vmp-hypercube — a simulated hypercube multiprocessor
+//!
+//! This crate is the machine substrate for the reproduction of *Four
+//! Vector-Matrix Primitives* (Agrawal, Blelloch, Krawitz & Phillips,
+//! SPAA 1989). The paper implements its primitives on the Connection
+//! Machine, a Boolean-cube (hypercube) multiprocessor; this crate
+//! provides that machine in simulation:
+//!
+//! * [`topology`] — Boolean-cube address arithmetic and subcubes;
+//! * [`gray`] — binary-reflected Gray codes for grid embeddings;
+//! * [`cost`] — the `alpha + n*beta` channel cost model (with CM-2 and
+//!   iPSC/1 presets) used throughout the contemporaneous literature;
+//! * [`machine`] — the [`machine::Hypercube`] simulator: a BSP-style
+//!   clock and event counters over caller-owned per-processor buffers;
+//! * [`collective`] — broadcast / reduce / allreduce / scan / gather /
+//!   scatter / allgather / all-to-all on arbitrary subcube dimension
+//!   subsets (rows and columns of a processor grid);
+//! * [`route`] — blocked dimension-ordered routing for irregular moves;
+//! * [`router`] — the cycle-accurate element-granular general router
+//!   that models the paper's **naive** baseline;
+//! * [`spanning`] — alternative (balanced / all-port) broadcast and
+//!   reduction schedules for the spanning-tree ablation.
+//!
+//! Everything really moves the data — results are bit-exact and checked
+//! against serial oracles — while the simulated clock and counters follow
+//! the standard cost model, so the reproduced evaluation compares *time
+//! shapes*, not just operation counts.
+
+#![warn(missing_docs)]
+
+pub mod collective;
+pub mod cost;
+pub mod counters;
+pub mod dimperm;
+pub mod gray;
+pub mod machine;
+pub mod route;
+pub mod router;
+pub mod spanning;
+pub mod topology;
+
+pub use cost::{CostModel, PortModel};
+pub use counters::Counters;
+pub use machine::Hypercube;
+pub use topology::{Cube, NodeId};

@@ -1,0 +1,250 @@
+//! The simulated hypercube multiprocessor.
+//!
+//! [`Hypercube`] bundles the cube topology, the cost model, a simulated
+//! clock and event counters. It does **not** own application data:
+//! distributed data lives in per-processor buffers (`Vec<Vec<T>>`, indexed
+//! by [`NodeId`]) held by the caller, and the communication routines in
+//! [`crate::collective`] and [`crate::route`] transform those buffers
+//! while charging the machine for the time the operation would take.
+//!
+//! The accounting discipline is BSP-like and matches the analyses in the
+//! Johnsson/Ho reports: execution is a sequence of *supersteps*; a
+//! communication superstep in which every node exchanges at most `n`
+//! elements with a neighbour costs `alpha + n * beta`; a local compute
+//! superstep costs `gamma * f` where `f` is the critical-path (maximum
+//! per-processor) operation count. Because the simulator really moves the
+//! data, results are bit-exact and independently testable against serial
+//! oracles; only the *clock* is modelled.
+
+use crate::cost::CostModel;
+use crate::counters::Counters;
+use crate::topology::{Cube, NodeId};
+
+/// A simulated Boolean-cube multiprocessor: topology + cost accounting.
+#[derive(Debug, Clone)]
+pub struct Hypercube {
+    cube: Cube,
+    cost: CostModel,
+    clock_us: f64,
+    counters: Counters,
+}
+
+impl Hypercube {
+    /// A machine with `2^dim` processors under the given cost model.
+    #[must_use]
+    pub fn new(dim: u32, cost: CostModel) -> Self {
+        Hypercube { cube: Cube::new(dim), cost, clock_us: 0.0, counters: Counters::default() }
+    }
+
+    /// A CM-2-flavoured machine (the paper's target) with `2^dim` nodes.
+    #[must_use]
+    pub fn cm2(dim: u32) -> Self {
+        Self::new(dim, CostModel::cm2())
+    }
+
+    /// The cube topology.
+    #[inline]
+    #[must_use]
+    pub fn cube(&self) -> Cube {
+        self.cube
+    }
+
+    /// Number of processors `p`.
+    #[inline]
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.cube.nodes()
+    }
+
+    /// Cube dimension `d = lg p`.
+    #[inline]
+    #[must_use]
+    pub fn dim(&self) -> u32 {
+        self.cube.dim()
+    }
+
+    /// The cost model in force.
+    #[inline]
+    #[must_use]
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Simulated time elapsed since construction or the last
+    /// [`Hypercube::reset`], in microseconds.
+    #[inline]
+    #[must_use]
+    pub fn elapsed_us(&self) -> f64 {
+        self.clock_us
+    }
+
+    /// Event counters accumulated so far.
+    #[inline]
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Zero the clock and counters (topology and cost model stay).
+    pub fn reset(&mut self) {
+        self.clock_us = 0.0;
+        self.counters.reset();
+    }
+
+    // ----- charging primitives (called by communication/compute code) ---
+
+    /// Charge one blocked message superstep: every active node exchanges
+    /// at most `max_per_channel` elements with one neighbour.
+    /// `total_elements` is the machine-wide element count, for counters.
+    pub fn charge_message_step(&mut self, max_per_channel: usize, total_elements: u64) {
+        self.clock_us += self.cost.message(max_per_channel);
+        self.counters.message_steps += 1;
+        self.counters.elements_transferred += total_elements;
+        self.counters.max_channel_load = self.counters.max_channel_load.max(max_per_channel as u64);
+    }
+
+    /// Charge a local compute superstep of `critical_flops` operations on
+    /// the busiest processor.
+    pub fn charge_flops(&mut self, critical_flops: usize) {
+        self.clock_us += self.cost.flops(critical_flops);
+        self.counters.flops += critical_flops as u64;
+    }
+
+    /// Charge a local data-movement superstep of `critical_moves` element
+    /// copies on the busiest processor.
+    pub fn charge_moves(&mut self, critical_moves: usize) {
+        self.clock_us += self.cost.moves(critical_moves);
+        self.counters.local_moves += critical_moves as u64;
+    }
+
+    /// Charge the per-element injection overhead of the general router
+    /// (naive baseline): the busiest processor injects
+    /// `max_injected_per_node` individually addressed elements.
+    pub fn charge_router_injection(&mut self, max_injected_per_node: usize, total_elements: u64) {
+        self.clock_us += self.cost.router_alpha * max_injected_per_node as f64;
+        self.counters.router_elements += total_elements;
+    }
+
+    /// Charge `cycles` router petit cycles (naive baseline).
+    pub fn charge_router_cycles(&mut self, cycles: u64) {
+        self.clock_us += self.cost.router_cycle * cycles as f64;
+        self.counters.router_cycles += cycles;
+    }
+
+    /// Add raw time (used by ablation schedules that price themselves).
+    pub fn charge_raw_us(&mut self, us: f64) {
+        debug_assert!(us >= 0.0);
+        self.clock_us += us;
+    }
+
+    /// Allocate an empty per-processor buffer set: one `Vec<T>` per node.
+    #[must_use]
+    pub fn empty_locals<T>(&self) -> Vec<Vec<T>> {
+        (0..self.p()).map(|_| Vec::new()).collect()
+    }
+
+    /// Build per-processor buffers by calling `f(node)` for each node.
+    #[must_use]
+    pub fn locals_from_fn<T>(&self, f: impl FnMut(NodeId) -> Vec<T>) -> Vec<Vec<T>> {
+        (0..self.p()).map(f).collect()
+    }
+}
+
+/// Run a local compute step on every processor's buffer, in parallel on
+/// the host with rayon when the machine-wide work is large enough to pay
+/// for the fork/join, and charge `critical_flops` on `hc`.
+///
+/// `f(node, buf)` must be independent across nodes — the usual SPMD local
+/// phase. `critical_flops` is the max per-processor operation count, which
+/// the caller knows from its load-balance guarantees.
+pub fn local_compute<T: Send, F>(hc: &mut Hypercube, locals: &mut [Vec<T>], critical_flops: usize, f: F)
+where
+    F: Fn(NodeId, &mut Vec<T>) + Sync,
+{
+    use rayon::prelude::*;
+    // Rough machine-wide work estimate decides host-parallel execution.
+    let total_work = critical_flops.saturating_mul(locals.len());
+    if total_work >= 1 << 15 {
+        locals.par_iter_mut().enumerate().for_each(|(node, buf)| f(node, buf));
+    } else {
+        for (node, buf) in locals.iter_mut().enumerate() {
+            f(node, buf);
+        }
+    }
+    hc.charge_flops(critical_flops);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_machine_has_zero_clock() {
+        let hc = Hypercube::new(5, CostModel::unit());
+        assert_eq!(hc.p(), 32);
+        assert_eq!(hc.dim(), 5);
+        assert_eq!(hc.elapsed_us(), 0.0);
+        assert_eq!(*hc.counters(), Counters::default());
+    }
+
+    #[test]
+    fn message_step_charges_affine_cost() {
+        let mut hc = Hypercube::new(3, CostModel::unit());
+        hc.charge_message_step(10, 80);
+        assert_eq!(hc.elapsed_us(), 11.0); // alpha + 10*beta
+        assert_eq!(hc.counters().message_steps, 1);
+        assert_eq!(hc.counters().elements_transferred, 80);
+        assert_eq!(hc.counters().max_channel_load, 10);
+    }
+
+    #[test]
+    fn flops_and_moves_accumulate() {
+        let mut hc = Hypercube::new(2, CostModel::unit());
+        hc.charge_flops(7);
+        hc.charge_moves(3);
+        assert_eq!(hc.counters().flops, 7);
+        assert_eq!(hc.counters().local_moves, 3);
+        assert_eq!(hc.elapsed_us(), 7.0); // delta = 0 in unit model
+    }
+
+    #[test]
+    fn reset_zeroes_clock_and_counters() {
+        let mut hc = Hypercube::new(2, CostModel::unit());
+        hc.charge_message_step(1, 2);
+        hc.reset();
+        assert_eq!(hc.elapsed_us(), 0.0);
+        assert_eq!(*hc.counters(), Counters::default());
+        assert_eq!(hc.p(), 4, "topology survives reset");
+    }
+
+    #[test]
+    fn local_compute_runs_every_node_and_charges() {
+        let mut hc = Hypercube::new(4, CostModel::unit());
+        let mut locals: Vec<Vec<u64>> = hc.locals_from_fn(|n| vec![n as u64]);
+        local_compute(&mut hc, &mut locals, 5, |node, buf| {
+            buf[0] += 100 + node as u64;
+        });
+        for (node, buf) in locals.iter().enumerate() {
+            assert_eq!(buf[0], 100 + 2 * node as u64);
+        }
+        assert_eq!(hc.counters().flops, 5);
+        assert_eq!(hc.elapsed_us(), 5.0);
+    }
+
+    #[test]
+    fn local_compute_parallel_path_matches_serial() {
+        // Force the rayon path by a large critical_flops value.
+        let mut hc = Hypercube::new(6, CostModel::unit());
+        let mut locals: Vec<Vec<u64>> = hc.locals_from_fn(|n| vec![n as u64; 16]);
+        local_compute(&mut hc, &mut locals, 1 << 16, |node, buf| {
+            for v in buf.iter_mut() {
+                *v = v.wrapping_mul(3).wrapping_add(node as u64);
+            }
+        });
+        for (node, buf) in locals.iter().enumerate() {
+            for v in buf {
+                assert_eq!(*v, (node as u64).wrapping_mul(3).wrapping_add(node as u64));
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Blocked dimension-ordered (e-cube) routing.
+//!
+//! [`route_blocks`] is the workhorse for every irregular data movement in
+//! the library (embedding changes, transposes, extract/insert traffic):
+//! each node posts *blocks* addressed to arbitrary destination nodes, and
+//! the router delivers them in `d` store-and-forward supersteps, resolving
+//! dimension 0 first, then 1, and so on. In each superstep a node bundles
+//! everything it holds that still differs from its destination in the
+//! current dimension into **one** message to the corresponding neighbour,
+//! so the start-up cost is at most `d * alpha` regardless of how many
+//! blocks are in flight — this blocking is precisely what the paper's
+//! primitives buy over the naive element-per-message router (see
+//! [`crate::router`] for that baseline).
+//!
+//! Delivery is deterministic: arrivals at each node are sorted by the
+//! caller-supplied `tag`, so downstream code can reassemble rows and
+//! columns in global index order without caring about routing order.
+
+use crate::machine::Hypercube;
+use crate::topology::NodeId;
+
+/// A routable unit: a contiguous run of elements bound for `dst`.
+///
+/// `tag` orders arrivals at the destination; callers use global indices
+/// (e.g. the first global element index of the run) so reassembly is
+/// order-independent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block<T> {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Arrival-ordering key (unique per destination for determinism).
+    pub tag: u64,
+    /// Payload elements.
+    pub data: Vec<T>,
+}
+
+impl<T> Block<T> {
+    /// Convenience constructor.
+    pub fn new(dst: NodeId, tag: u64, data: Vec<T>) -> Self {
+        Block { dst, tag, data }
+    }
+}
+
+/// Deliver every posted block to its destination via dimension-ordered
+/// store-and-forward routing, charging the machine one blocked message
+/// superstep per cube dimension that carries any traffic.
+///
+/// Returns the per-node arrival lists, each sorted by `Block::tag`.
+///
+/// # Panics
+/// Panics if `outgoing.len() != hc.p()` or any block's `dst` is out of
+/// range.
+pub fn route_blocks<T>(hc: &mut Hypercube, outgoing: Vec<Vec<Block<T>>>) -> Vec<Vec<Block<T>>> {
+    let cube = hc.cube();
+    let p = cube.nodes();
+    assert_eq!(outgoing.len(), p, "one outgoing list per node expected");
+
+    // `in_flight[n]` = blocks currently held at node n (en route or home).
+    let mut in_flight = outgoing;
+    for lists in &in_flight {
+        for b in lists {
+            assert!(cube.contains(b.dst), "block destination {} out of range", b.dst);
+        }
+    }
+
+    for d in cube.iter_dims() {
+        let bit = 1usize << d;
+        // Split each node's holdings into (stay, forward-along-d).
+        let mut max_fwd_elems = 0usize;
+        let mut total_fwd_elems: u64 = 0;
+        let mut any = false;
+        let mut forwarded: Vec<Vec<Block<T>>> = (0..p).map(|_| Vec::new()).collect();
+        for node in 0..p {
+            let held = std::mem::take(&mut in_flight[node]);
+            let mut stay = Vec::with_capacity(held.len());
+            let mut fwd_elems = 0usize;
+            for b in held {
+                if (b.dst ^ node) & bit != 0 {
+                    fwd_elems += b.data.len();
+                    forwarded[node ^ bit].push(b);
+                } else {
+                    stay.push(b);
+                }
+            }
+            in_flight[node] = stay;
+            if fwd_elems > 0 {
+                any = true;
+                max_fwd_elems = max_fwd_elems.max(fwd_elems);
+                total_fwd_elems += fwd_elems as u64;
+            }
+        }
+        for (node, mut arr) in forwarded.into_iter().enumerate() {
+            in_flight[node].append(&mut arr);
+        }
+        if any {
+            hc.charge_message_step(max_fwd_elems, total_fwd_elems);
+        }
+    }
+
+    for (node, lists) in in_flight.iter_mut().enumerate() {
+        debug_assert!(lists.iter().all(|b| b.dst == node), "all blocks delivered");
+        lists.sort_by_key(|b| b.tag);
+    }
+    in_flight
+}
+
+/// Route single elements as one-element blocks, returning per-node values
+/// sorted by tag. A convenience wrapper used for small amounts of control
+/// data (pivot indices, scalars).
+pub fn route_values<T>(hc: &mut Hypercube, outgoing: Vec<Vec<(NodeId, u64, T)>>) -> Vec<Vec<(u64, T)>> {
+    let blocks = outgoing
+        .into_iter()
+        .map(|list| list.into_iter().map(|(dst, tag, v)| Block::new(dst, tag, vec![v])).collect())
+        .collect();
+    route_blocks(hc, blocks)
+        .into_iter()
+        .map(|arr| {
+            arr.into_iter()
+                .map(|mut b| (b.tag, b.data.pop().expect("one-element block")))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    fn machine(dim: u32) -> Hypercube {
+        Hypercube::new(dim, CostModel::unit())
+    }
+
+    #[test]
+    fn empty_routing_is_free() {
+        let mut hc = machine(4);
+        let out: Vec<Vec<Block<u32>>> = hc.empty_locals();
+        let arrived = route_blocks(&mut hc, out);
+        assert!(arrived.iter().all(Vec::is_empty));
+        assert_eq!(hc.elapsed_us(), 0.0, "no traffic, no charge");
+        assert_eq!(hc.counters().message_steps, 0);
+    }
+
+    #[test]
+    fn local_block_is_not_charged() {
+        let mut hc = machine(3);
+        let mut out = hc.empty_locals();
+        out[5].push(Block::new(5, 0, vec![1.0f64, 2.0]));
+        let arrived = route_blocks(&mut hc, out);
+        assert_eq!(arrived[5].len(), 1);
+        assert_eq!(arrived[5][0].data, vec![1.0, 2.0]);
+        assert_eq!(hc.counters().message_steps, 0);
+    }
+
+    #[test]
+    fn single_block_crosses_hamming_distance_steps() {
+        let mut hc = machine(4);
+        let mut out = hc.empty_locals();
+        // 0b0000 -> 0b1011: distance 3, so 3 charged supersteps.
+        out[0b0000].push(Block::new(0b1011, 7, vec![42u32; 10]));
+        let arrived = route_blocks(&mut hc, out);
+        assert_eq!(arrived[0b1011].len(), 1);
+        assert_eq!(arrived[0b1011][0].data, vec![42u32; 10]);
+        assert_eq!(hc.counters().message_steps, 3);
+        // Each step carries the full 10 elements on the critical channel.
+        assert_eq!(hc.elapsed_us(), 3.0 * (1.0 + 10.0));
+    }
+
+    #[test]
+    fn all_to_one_concentrates_and_sorts_by_tag() {
+        let mut hc = machine(3);
+        let p = hc.p();
+        let out: Vec<Vec<Block<usize>>> =
+            (0..p).map(|n| vec![Block::new(0, (p - n) as u64, vec![n])]).collect();
+        let arrived = route_blocks(&mut hc, out);
+        assert_eq!(arrived[0].len(), p);
+        let tags: Vec<u64> = arrived[0].iter().map(|b| b.tag).collect();
+        let mut sorted = tags.clone();
+        sorted.sort_unstable();
+        assert_eq!(tags, sorted, "arrivals sorted by tag");
+        // Everyone except node 0 posted one block.
+        let values: Vec<usize> = arrived[0].iter().map(|b| b.data[0]).collect();
+        assert_eq!(values, (0..p).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn permutation_routing_touches_each_dimension_once() {
+        // Bit-complement permutation: node n sends to !n. Every block must
+        // cross every dimension, but blocking keeps it to d supersteps.
+        let mut hc = machine(5);
+        let p = hc.p();
+        let mask = p - 1;
+        let out: Vec<Vec<Block<usize>>> =
+            (0..p).map(|n| vec![Block::new(n ^ mask, n as u64, vec![n; 4])]).collect();
+        let arrived = route_blocks(&mut hc, out);
+        for n in 0..p {
+            assert_eq!(arrived[n].len(), 1);
+            assert_eq!(arrived[n][0].data, vec![n ^ mask; 4]);
+        }
+        assert_eq!(hc.counters().message_steps, 5, "exactly d supersteps");
+        // Each node forwards exactly its one 4-element block per step.
+        assert_eq!(hc.elapsed_us(), 5.0 * (1.0 + 4.0));
+    }
+
+    #[test]
+    fn congestion_shows_up_as_channel_load() {
+        // All nodes send 8 elements to node 0: the last dimension's channel
+        // into 0 carries half the machine's data in one superstep under
+        // dimension-ordered routing... actually dimension 0 concentrates
+        // first; check max_channel_load grows beyond a single block.
+        let mut hc = machine(4);
+        let p = hc.p();
+        let out: Vec<Vec<Block<u8>>> =
+            (0..p).map(|n| if n == 0 { vec![] } else { vec![Block::new(0, n as u64, vec![0u8; 8])] }).collect();
+        route_blocks(&mut hc, out);
+        assert!(hc.counters().max_channel_load >= 8 * 8 / 2, "tree concentration loads late channels");
+    }
+
+    #[test]
+    fn route_values_delivers_scalars() {
+        let mut hc = machine(3);
+        let p = hc.p();
+        let out: Vec<Vec<(NodeId, u64, f64)>> =
+            (0..p).map(|n| vec![((n + 1) % p, n as u64, n as f64)]).collect();
+        let arrived = route_values(&mut hc, out);
+        for n in 0..p {
+            let src = (n + p - 1) % p;
+            assert_eq!(arrived[n], vec![(src as u64, src as f64)]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_destination_panics() {
+        let mut hc = machine(2);
+        let mut out = hc.empty_locals();
+        out[0].push(Block::new(99, 0, vec![1u8]));
+        let _ = route_blocks(&mut hc, out);
+    }
+}

@@ -1,0 +1,387 @@
+//! Alternative broadcast/reduce schedules — the spanning-tree ablation.
+//!
+//! The binomial-tree schedules in [`crate::collective`] minimise start-ups
+//! (`k` of them) but transfer the whole buffer at every level, costing
+//! `k * (alpha + beta * L)`. Johnsson & Ho's *Optimum Broadcasting and
+//! Personalized Communication in Hypercubes* (TR-610, abstract in the
+//! source booklet) shows large-message broadcasts can shed the factor `k`
+//! on the bandwidth term with balanced / edge-disjoint spanning trees.
+//! This module implements the two classical remedies in data-correct form:
+//!
+//! * **scatter + allgather** broadcast (`2k` start-ups,
+//!   `~2 * beta * L` transfer) — the "balanced tree" one-port schedule;
+//! * **reduce-scatter + gather/allgather** reductions (Rabenseifner) with
+//!   the same trade;
+//! * **all-port pipelined broadcast** over `k` edge-disjoint spanning
+//!   binomial trees (nESBT): data movement is modelled (the clone is
+//!   performed directly) but the charge follows the nESBT schedule,
+//!   `k * (alpha + beta * ceil(L/k))` — the factor-`n` bandwidth win the
+//!   TR-610 abstract states.
+//!
+//! Benchmark F4 sweeps message size against these schedules to reproduce
+//! the crossover: binomial wins small messages (fewer start-ups),
+//! balanced schedules win large ones.
+
+use crate::collective::{allgather, broadcast, gather, scatter};
+use crate::machine::Hypercube;
+use crate::topology::NodeId;
+
+/// Which broadcast schedule to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BroadcastSchedule {
+    /// Spanning binomial tree: `k * (alpha + beta * L)`.
+    Binomial,
+    /// Scatter then allgather: `2k * alpha + ~2 * beta * L`.
+    ScatterAllgather,
+    /// All-port pipelining over `k` edge-disjoint spanning binomial trees:
+    /// `k * (alpha + beta * ceil(L/k))`.
+    AllPortEsbt,
+}
+
+/// Broadcast the buffer at subcube coordinate `root_coord` to all subcube
+/// members using the chosen schedule. Semantics identical to
+/// [`crate::collective::broadcast`]; only the schedule (and hence the
+/// charged time) differs.
+pub fn broadcast_with<T: Clone>(
+    hc: &mut Hypercube,
+    locals: &mut [Vec<T>],
+    dims: &[u32],
+    root_coord: usize,
+    schedule: BroadcastSchedule,
+) {
+    match schedule {
+        BroadcastSchedule::Binomial => broadcast(hc, locals, dims, root_coord),
+        BroadcastSchedule::ScatterAllgather => {
+            let cube = hc.cube();
+            let k = dims.len();
+            if k == 0 {
+                return;
+            }
+            // Move the payload to the coordinate-0 node of each subcube if
+            // the root is elsewhere (coordinate relabelling: the scatter
+            // and gather trees here are rooted at coordinate 0).
+            if root_coord != 0 {
+                let mut moves: Vec<(NodeId, NodeId)> = Vec::new();
+                let mut max_len = 0usize;
+                let mut total = 0u64;
+                for node in cube.iter_nodes() {
+                    if cube.extract_coords(node, dims) == root_coord {
+                        let dst = cube.with_coords(node, 0, dims);
+                        max_len = max_len.max(locals[node].len());
+                        total += locals[node].len() as u64;
+                        moves.push((node, dst));
+                    }
+                }
+                for (src, dst) in moves {
+                    locals[dst] = std::mem::take(&mut locals[src]);
+                }
+                // Distance can be up to k, but the payload moves as one
+                // blocked message along each differing dimension.
+                let hops = (root_coord as u64).count_ones() as usize;
+                for _ in 0..hops {
+                    hc.charge_message_step(max_len, total);
+                }
+            }
+            // Scatter root's buffer as 2^k near-equal segments...
+            let pieces = 1usize << k;
+            let segments: Vec<Vec<Vec<T>>> = (0..cube.nodes())
+                .map(|node| {
+                    if cube.extract_coords(node, dims) == 0 {
+                        split_even(&locals[node], pieces)
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+            let mut scattered = scatter(hc, segments, dims);
+            // ...then allgather: every node ends with the concatenation,
+            // which equals the original buffer.
+            allgather(hc, &mut scattered, dims);
+            for (node, buf) in scattered.into_iter().enumerate() {
+                locals[node] = buf;
+            }
+        }
+        BroadcastSchedule::AllPortEsbt => {
+            let cube = hc.cube();
+            let k = dims.len();
+            if k == 0 {
+                return;
+            }
+            // Perform the data movement directly (semantically a clone of
+            // the root buffer everywhere), charging the nESBT schedule.
+            let mut max_len = 0usize;
+            let mut clones: Vec<(NodeId, NodeId)> = Vec::new();
+            for node in cube.iter_nodes() {
+                if cube.extract_coords(node, dims) == root_coord {
+                    max_len = max_len.max(locals[node].len());
+                    for member in cube.subcube_nodes(node, dims) {
+                        if member != node {
+                            clones.push((node, member));
+                        }
+                    }
+                }
+            }
+            let total: u64 = clones.len() as u64 * max_len as u64;
+            for (src, dst) in clones {
+                locals[dst] = locals[src].clone();
+            }
+            let piece = max_len.div_ceil(k);
+            for _ in 0..k {
+                hc.charge_message_step(piece, total / k as u64);
+            }
+        }
+    }
+}
+
+/// Reduce to subcube coordinate 0 via recursive-halving reduce-scatter
+/// followed by a gather — `2k` start-ups but only `~(beta + gamma) * L`
+/// on the bandwidth/compute terms (vs `k * L` for the binomial tree).
+/// Non-root buffers are cleared, as in [`crate::collective::reduce`].
+pub fn reduce_scatter_gather<T: Copy>(
+    hc: &mut Hypercube,
+    locals: &mut [Vec<T>],
+    dims: &[u32],
+    op: impl Fn(T, T) -> T + Copy,
+) {
+    reduce_scatter(hc, locals, dims, op);
+    gather(hc, locals, dims);
+}
+
+/// All-reduce via reduce-scatter + allgather (Rabenseifner's algorithm):
+/// every member ends with the full elementwise reduction.
+pub fn allreduce_rabenseifner<T: Copy>(
+    hc: &mut Hypercube,
+    locals: &mut [Vec<T>],
+    dims: &[u32],
+    op: impl Fn(T, T) -> T + Copy,
+) {
+    reduce_scatter(hc, locals, dims, op);
+    allgather(hc, locals, dims);
+}
+
+/// Recursive-halving reduce-scatter: member at coordinate `c` ends with
+/// the fully reduced segment `c` (coordinate-order split) of the buffer.
+fn reduce_scatter<T: Copy>(
+    hc: &mut Hypercube,
+    locals: &mut [Vec<T>],
+    dims: &[u32],
+    op: impl Fn(T, T) -> T + Copy,
+) {
+    let cube = hc.cube();
+    crate::collective::check_dims(cube, dims);
+    assert_eq!(locals.len(), cube.nodes());
+    let k = dims.len();
+    if k == 0 {
+        return;
+    }
+
+    // Every node tracks the global [lo, hi) range its buffer covers; the
+    // split points are the coordinate-order segment boundaries, so both
+    // partners always agree on the current range.
+    let p = cube.nodes();
+    let mut range: Vec<(usize, usize)> = Vec::with_capacity(p);
+    let full_len = {
+        let mut len = None;
+        for node in cube.iter_nodes() {
+            match len {
+                None => len = Some(locals[node].len()),
+                Some(l) => assert_eq!(l, locals[node].len(), "reduce-scatter requires equal buffer lengths"),
+            }
+        }
+        len.unwrap_or(0)
+    };
+    range.resize(p, (0, full_len));
+
+    for j in (0..k).rev() {
+        let chan = 1usize << dims[j];
+        let bit = 1usize << j;
+        let mut max_len = 0usize;
+        let mut total: u64 = 0;
+        for node in cube.iter_nodes() {
+            if node & chan != 0 {
+                continue;
+            }
+            let partner = node | chan;
+            let (lo, hi) = range[node];
+            debug_assert_eq!(range[partner], (lo, hi));
+            let mid = lo + (hi - lo) / 2;
+            // Lower-coordinate node keeps [lo, mid); the partner (whose
+            // coordinate bit j is 1) keeps [mid, hi).
+            let (lo_part, hi_part) = locals.split_at_mut(partner);
+            let a = &mut lo_part[node]; // covers [lo, hi) locally
+            let b = &mut hi_part[0];
+            let seg = |v: &Vec<T>, from: usize, to: usize| -> Vec<T> { v[from - lo..to - lo].to_vec() };
+            let a_low = seg(a, lo, mid);
+            let a_high = seg(a, mid, hi);
+            let b_low = seg(b, lo, mid);
+            let b_high = seg(b, mid, hi);
+            let xfer = a_high.len().max(b_low.len());
+            max_len = max_len.max(xfer);
+            total += (a_high.len() + b_low.len()) as u64;
+            *a = a_low.iter().zip(&b_low).map(|(&x, &y)| op(x, y)).collect();
+            *b = a_high.iter().zip(&b_high).map(|(&x, &y)| op(x, y)).collect();
+            range[node] = (lo, mid);
+            range[partner] = (mid, hi);
+            // Which physical node is "lower coordinate" depends on the
+            // coordinate packing; with dims[j] mapped to coord bit j and
+            // node having that cube bit clear, node IS the lower one.
+            debug_assert_eq!(cube.extract_coords(node, dims) & bit, 0);
+        }
+        hc.charge_message_step(max_len, total);
+        hc.charge_flops(max_len);
+    }
+}
+
+/// Split `buf` into `pieces` contiguous segments of near-equal length
+/// (the first `len % pieces` segments are one element longer).
+fn split_even<T: Clone>(buf: &[T], pieces: usize) -> Vec<Vec<T>> {
+    let len = buf.len();
+    let base = len / pieces;
+    let extra = len % pieces;
+    let mut out = Vec::with_capacity(pieces);
+    let mut at = 0usize;
+    for i in 0..pieces {
+        let take = base + usize::from(i < extra);
+        out.push(buf[at..at + take].to_vec());
+        at += take;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    fn machine(dim: u32) -> Hypercube {
+        Hypercube::new(dim, CostModel::unit())
+    }
+
+    #[test]
+    fn split_even_covers_everything() {
+        let v: Vec<u32> = (0..10).collect();
+        let parts = split_even(&v, 4);
+        assert_eq!(parts.iter().map(Vec::len).collect::<Vec<_>>(), vec![3, 3, 2, 2]);
+        let flat: Vec<u32> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, v);
+    }
+
+    #[test]
+    fn scatter_allgather_broadcast_is_semantically_a_broadcast() {
+        let mut hc = machine(4);
+        let dims: Vec<u32> = hc.cube().iter_dims().collect();
+        let payload: Vec<u64> = (0..37).collect();
+        let mut locals = hc.locals_from_fn(|n| if n == 0 { payload.clone() } else { vec![] });
+        broadcast_with(&mut hc, &mut locals, &dims, 0, BroadcastSchedule::ScatterAllgather);
+        for (n, buf) in locals.iter().enumerate() {
+            assert_eq!(buf, &payload, "node {n}");
+        }
+    }
+
+    #[test]
+    fn scatter_allgather_with_nonzero_root() {
+        let mut hc = machine(3);
+        let dims = [0u32, 1, 2];
+        let payload: Vec<u64> = (0..16).collect();
+        let mut locals = hc.locals_from_fn(|n| if n == 5 { payload.clone() } else { vec![] });
+        broadcast_with(&mut hc, &mut locals, &dims, 5, BroadcastSchedule::ScatterAllgather);
+        for buf in &locals {
+            assert_eq!(buf, &payload);
+        }
+    }
+
+    #[test]
+    fn allport_esbt_broadcast_is_semantically_a_broadcast() {
+        let mut hc = machine(3);
+        let dims = [0u32, 1, 2];
+        let payload: Vec<u64> = (0..24).collect();
+        let mut locals = hc.locals_from_fn(|n| if n == 2 { payload.clone() } else { vec![] });
+        broadcast_with(&mut hc, &mut locals, &dims, 2, BroadcastSchedule::AllPortEsbt);
+        for buf in &locals {
+            assert_eq!(buf, &payload);
+        }
+    }
+
+    #[test]
+    fn large_messages_favour_scatter_allgather() {
+        let len = 4096usize;
+        let dims: Vec<u32> = (0..6).collect();
+        let run = |sched| {
+            let mut hc = machine(6);
+            let mut locals = hc.locals_from_fn(|n| if n == 0 { vec![1.0f64; len] } else { vec![] });
+            broadcast_with(&mut hc, &mut locals, &dims, 0, sched);
+            hc.elapsed_us()
+        };
+        let binomial = run(BroadcastSchedule::Binomial);
+        let balanced = run(BroadcastSchedule::ScatterAllgather);
+        let allport = run(BroadcastSchedule::AllPortEsbt);
+        assert!(balanced < binomial, "balanced {balanced} vs binomial {binomial}");
+        assert!(allport < balanced, "allport {allport} vs balanced {balanced}");
+    }
+
+    #[test]
+    fn small_messages_favour_binomial() {
+        // With alpha big relative to beta*L, fewer start-ups win.
+        let dims: Vec<u32> = (0..6).collect();
+        let run = |sched| {
+            let mut hc = Hypercube::new(6, CostModel { alpha: 100.0, ..CostModel::unit() });
+            let mut locals = hc.locals_from_fn(|n| if n == 0 { vec![1.0f64; 4] } else { vec![] });
+            broadcast_with(&mut hc, &mut locals, &dims, 0, sched);
+            hc.elapsed_us()
+        };
+        let binomial = run(BroadcastSchedule::Binomial);
+        let balanced = run(BroadcastSchedule::ScatterAllgather);
+        assert!(binomial < balanced, "binomial {binomial} vs balanced {balanced}");
+    }
+
+    #[test]
+    fn reduce_scatter_gather_matches_binomial_reduce() {
+        let mut hc1 = machine(4);
+        let dims: Vec<u32> = hc1.cube().iter_dims().collect();
+        let make = |hc: &Hypercube| hc.locals_from_fn(|n| (0..33).map(|i| (n * 100 + i) as f64).collect());
+        let mut a = make(&hc1);
+        reduce_scatter_gather(&mut hc1, &mut a, &dims, |x, y| x + y);
+
+        let mut hc2 = machine(4);
+        let mut b = make(&hc2);
+        crate::collective::reduce(&mut hc2, &mut b, &dims, 0, |x, y| x + y);
+
+        assert_eq!(a[0].len(), 33);
+        for (x, y) in a[0].iter().zip(&b[0]) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rabenseifner_allreduce_matches_butterfly() {
+        let mut hc1 = machine(3);
+        let dims: Vec<u32> = hc1.cube().iter_dims().collect();
+        let make = |hc: &Hypercube| hc.locals_from_fn(|n| (0..17).map(|i| ((n + 1) * (i + 1)) as f64).collect());
+        let mut a = make(&hc1);
+        allreduce_rabenseifner(&mut hc1, &mut a, &dims, |x, y| x + y);
+
+        let mut hc2 = machine(3);
+        let mut b = make(&hc2);
+        crate::collective::allreduce(&mut hc2, &mut b, &dims, |x, y| x + y);
+
+        for n in 0..8 {
+            assert_eq!(a[n].len(), 17, "node {n}");
+            for (x, y) in a[n].iter().zip(&b[n]) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rabenseifner_saves_bandwidth_on_large_buffers() {
+        let dims: Vec<u32> = (0..6).collect();
+        let len = 8192usize;
+        let mut hc1 = Hypercube::new(6, CostModel::zero_latency());
+        let mut a = hc1.locals_from_fn(|_| vec![1.0f64; len]);
+        allreduce_rabenseifner(&mut hc1, &mut a, &dims, |x, y| x + y);
+        let mut hc2 = Hypercube::new(6, CostModel::zero_latency());
+        let mut b = hc2.locals_from_fn(|_| vec![1.0f64; len]);
+        crate::collective::allreduce(&mut hc2, &mut b, &dims, |x, y| x + y);
+        assert!(hc1.elapsed_us() < 0.7 * hc2.elapsed_us());
+    }
+}

@@ -1,0 +1,298 @@
+//! Vector embeddings — and the changes between them.
+//!
+//! The abstract: *"The primitives may indicate a change from one embedding
+//! to another."* A vector in this system is embedded one of three ways:
+//!
+//! * **aligned + replicated** — a row vector (length `n_c`) is chunked
+//!   over the grid *columns* exactly like the matrix columns, and every
+//!   grid row holds a copy of its column's chunk. This is the embedding
+//!   `reduce` naturally produces (via all-reduce) and the one `distribute`
+//!   consumes for free (purely local replication).
+//! * **aligned + concentrated** — same chunking but only the nodes of one
+//!   grid row (resp. column) hold data. This is what `extract` naturally
+//!   produces: row `i` of the matrix lives on grid row `owner(i)`.
+//! * **linear** — chunked over all `p` nodes in node order; the balanced
+//!   embedding for standalone vectors entering/leaving the matrix world.
+//!
+//! Column vectors are symmetric (chunks over grid rows). Embedding
+//! changes are data movements costed by the machine; `vmp-core`
+//! implements them (`remap`), this module describes who-holds-what.
+
+use serde::{Deserialize, Serialize};
+use vmp_hypercube::topology::NodeId;
+
+use crate::dist::{AxisDist, Dist};
+use crate::grid::ProcGrid;
+use crate::shape::Axis;
+
+/// Where an axis-aligned vector's chunks physically sit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Every grid line orthogonal to the alignment holds a copy.
+    Replicated,
+    /// Only one grid line (given by its grid index) holds the data.
+    Concentrated(usize),
+}
+
+/// The embedding of a length-`n` vector on the grid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VecEmbedding {
+    /// Aligned with a matrix axis: a `Row` vector is chunked over grid
+    /// columns (like matrix columns), a `Col` vector over grid rows.
+    Aligned {
+        /// Orientation of the vector.
+        axis: Axis,
+        /// Physical placement of the chunks.
+        placement: Placement,
+    },
+    /// Balanced over all `p` nodes, in node-id order.
+    Linear,
+}
+
+/// A vector layout: length, embedding, grid, and the chunking rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VectorLayout {
+    n: usize,
+    grid: ProcGrid,
+    embedding: VecEmbedding,
+    dist: AxisDist,
+}
+
+impl VectorLayout {
+    /// An axis-aligned layout with the given chunking rule (`kind` must
+    /// match the matrix distribution along the same direction for aligned
+    /// arithmetic to be local).
+    #[must_use]
+    pub fn aligned(n: usize, grid: ProcGrid, axis: Axis, placement: Placement, kind: Dist) -> Self {
+        let parts_log2 = match axis {
+            Axis::Row => grid.dc(),
+            Axis::Col => grid.dr(),
+        };
+        if let Placement::Concentrated(line) = placement {
+            let lines = match axis {
+                Axis::Row => grid.pr(),
+                Axis::Col => grid.pc(),
+            };
+            assert!(line < lines, "concentration line {line} out of range");
+        }
+        let dist = AxisDist::new(n, parts_log2, kind);
+        VectorLayout { n, grid, embedding: VecEmbedding::Aligned { axis, placement }, dist }
+    }
+
+    /// A linear (balanced, node-order) layout.
+    #[must_use]
+    pub fn linear(n: usize, grid: ProcGrid, kind: Dist) -> Self {
+        let dist = AxisDist::new(n, grid.cube().dim(), kind);
+        VectorLayout { n, grid, embedding: VecEmbedding::Linear, dist }
+    }
+
+    /// Vector length.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The grid.
+    #[must_use]
+    pub fn grid(&self) -> &ProcGrid {
+        &self.grid
+    }
+
+    /// The embedding descriptor.
+    #[must_use]
+    pub fn embedding(&self) -> &VecEmbedding {
+        &self.embedding
+    }
+
+    /// The chunking of global indices over parts.
+    #[must_use]
+    pub fn dist(&self) -> &AxisDist {
+        &self.dist
+    }
+
+    /// The chunk *part* a node is associated with (its grid column for
+    /// row vectors, grid row for column vectors, node id for linear) —
+    /// regardless of whether the node currently holds data.
+    #[must_use]
+    pub fn part_of(&self, node: NodeId) -> usize {
+        match &self.embedding {
+            VecEmbedding::Aligned { axis, .. } => {
+                let (gr, gc) = self.grid.grid_coords(node);
+                match axis {
+                    Axis::Row => gc,
+                    Axis::Col => gr,
+                }
+            }
+            VecEmbedding::Linear => node,
+        }
+    }
+
+    /// Whether `node` holds its chunk under this embedding.
+    #[must_use]
+    pub fn holds(&self, node: NodeId) -> bool {
+        match &self.embedding {
+            VecEmbedding::Aligned { axis, placement } => {
+                let (gr, gc) = self.grid.grid_coords(node);
+                match placement {
+                    Placement::Replicated => true,
+                    Placement::Concentrated(line) => match axis {
+                        Axis::Row => gr == *line,
+                        Axis::Col => gc == *line,
+                    },
+                }
+            }
+            VecEmbedding::Linear => true,
+        }
+    }
+
+    /// Expected local chunk length at `node` (0 where the node holds
+    /// nothing).
+    #[must_use]
+    pub fn local_len(&self, node: NodeId) -> usize {
+        if self.holds(node) {
+            self.dist.count(self.part_of(node))
+        } else {
+            0
+        }
+    }
+
+    /// The nodes holding the chunk of global element `i`, in grid order.
+    #[must_use]
+    pub fn holders_of(&self, i: usize) -> Vec<NodeId> {
+        let part = self.dist.owner(i);
+        match &self.embedding {
+            VecEmbedding::Aligned { axis, placement } => match (axis, placement) {
+                (Axis::Row, Placement::Replicated) => self.grid.col_nodes(part).collect(),
+                (Axis::Row, Placement::Concentrated(gr)) => vec![self.grid.node_at(*gr, part)],
+                (Axis::Col, Placement::Replicated) => self.grid.row_nodes(part).collect(),
+                (Axis::Col, Placement::Concentrated(gc)) => vec![self.grid.node_at(part, *gc)],
+            },
+            VecEmbedding::Linear => vec![part],
+        }
+    }
+
+    /// The canonical (first) holder of element `i`.
+    #[must_use]
+    pub fn primary_holder(&self, i: usize) -> NodeId {
+        self.holders_of(i)[0]
+    }
+
+    /// Total elements stored machine-wide (counts replicas).
+    #[must_use]
+    pub fn stored_elements(&self) -> usize {
+        (0..self.grid.p()).map(|n| self.local_len(n)).sum()
+    }
+
+    /// A copy of this layout with a different placement (aligned only).
+    ///
+    /// # Panics
+    /// Panics on linear layouts.
+    #[must_use]
+    pub fn with_placement(&self, placement: Placement) -> VectorLayout {
+        match &self.embedding {
+            VecEmbedding::Aligned { axis, .. } => {
+                VectorLayout::aligned(self.n, self.grid.clone(), *axis, placement, self.dist.kind())
+            }
+            VecEmbedding::Linear => panic!("linear layouts have no placement"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmp_hypercube::topology::Cube;
+
+    fn grid() -> ProcGrid {
+        ProcGrid::new(Cube::new(4), 2) // 4x4
+    }
+
+    #[test]
+    fn replicated_row_vector_is_held_by_every_row() {
+        let l = VectorLayout::aligned(10, grid(), Axis::Row, Placement::Replicated, Dist::Block);
+        assert_eq!(l.dist().parts(), 4);
+        for node in 0..16 {
+            assert!(l.holds(node));
+        }
+        assert_eq!(l.stored_elements(), 40, "4 replicas of 10 elements");
+        for i in 0..10 {
+            assert_eq!(l.holders_of(i).len(), 4);
+        }
+    }
+
+    #[test]
+    fn concentrated_row_vector_lives_on_one_grid_row() {
+        let l = VectorLayout::aligned(10, grid(), Axis::Row, Placement::Concentrated(2), Dist::Block);
+        let held: Vec<NodeId> = (0..16).filter(|&n| l.holds(n)).collect();
+        assert_eq!(held.len(), 4);
+        for &n in &held {
+            assert_eq!(l.grid().grid_coords(n).0, 2);
+        }
+        assert_eq!(l.stored_elements(), 10);
+        for i in 0..10 {
+            assert_eq!(l.holders_of(i).len(), 1);
+            assert!(held.contains(&l.primary_holder(i)));
+        }
+    }
+
+    #[test]
+    fn col_vector_chunks_over_grid_rows() {
+        let l = VectorLayout::aligned(12, grid(), Axis::Col, Placement::Replicated, Dist::Cyclic);
+        assert_eq!(l.dist().parts(), 4);
+        // Element 5 (cyclic) belongs to part 1 = grid row 1; holders are
+        // all 4 nodes of grid row 1.
+        let holders = l.holders_of(5);
+        assert_eq!(holders.len(), 4);
+        for &n in &holders {
+            assert_eq!(l.grid().grid_coords(n).0, 1);
+        }
+    }
+
+    #[test]
+    fn linear_layout_spreads_over_all_nodes() {
+        let l = VectorLayout::linear(33, grid(), Dist::Block);
+        assert_eq!(l.dist().parts(), 16);
+        assert_eq!(l.stored_elements(), 33);
+        let lens: Vec<usize> = (0..16).map(|n| l.local_len(n)).collect();
+        assert!(lens.iter().all(|&c| c == 2 || c == 3));
+        for i in 0..33 {
+            assert_eq!(l.holders_of(i).len(), 1);
+        }
+    }
+
+    #[test]
+    fn local_len_agrees_with_holders() {
+        let layouts = [
+            VectorLayout::aligned(9, grid(), Axis::Row, Placement::Replicated, Dist::Cyclic),
+            VectorLayout::aligned(9, grid(), Axis::Col, Placement::Concentrated(3), Dist::Block),
+            VectorLayout::linear(9, grid(), Dist::Cyclic),
+        ];
+        for layout in layouts {
+            let mut per_node = [0usize; 16];
+            for i in 0..9 {
+                let slot = layout.dist().local_index(i);
+                for n in layout.holders_of(i) {
+                    per_node[n] += 1;
+                    assert!(slot < layout.local_len(n));
+                }
+            }
+            for n in 0..16 {
+                assert_eq!(per_node[n], layout.local_len(n), "node {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn with_placement_switches_concentration() {
+        let l = VectorLayout::aligned(8, grid(), Axis::Row, Placement::Replicated, Dist::Block);
+        let c = l.with_placement(Placement::Concentrated(1));
+        assert_eq!(c.stored_elements(), 8);
+        assert_eq!(c.dist(), l.dist(), "chunking unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "concentration line")]
+    fn bad_concentration_line_panics() {
+        let _ = VectorLayout::aligned(8, grid(), Axis::Row, Placement::Concentrated(4), Dist::Block);
+    }
+}

@@ -1,0 +1,527 @@
+//! Local elementwise operations on distributed matrices and vectors.
+//!
+//! Everything in this module is communication-free: the operands are
+//! aligned by construction (same matrix layout, or a replicated vector
+//! whose chunking matches the matrix's axis distribution), so each node
+//! combines purely local data. The machine is charged the critical-path
+//! flop count, `ceil(n_r/p_r) * ceil(n_c/p_c)` per elementwise pass.
+//!
+//! Together with the four communication primitives these are the whole
+//! programming model: the paper's applications are compositions of
+//! {reduce, distribute, extract, insert} and local elementwise code.
+
+use vmp_hypercube::machine::Hypercube;
+use vmp_layout::Axis;
+
+use crate::elem::Scalar;
+use crate::matrix::DistMatrix;
+use crate::vector::DistVector;
+
+impl<T: Scalar> DistMatrix<T> {
+    /// Elementwise map with access to global indices:
+    /// `out[i][j] = f(i, j, self[i][j])`.
+    #[must_use]
+    pub fn map<U: Scalar>(
+        &self,
+        hc: &mut Hypercube,
+        f: impl Fn(usize, usize, T) -> U + Sync,
+    ) -> DistMatrix<U> {
+        let layout = self.layout().clone();
+        let p = layout.grid().p();
+        let work = layout.max_local_len().saturating_mul(p);
+        let locals = self.locals();
+        let out = crate::par::map_nodes::<T, U>(p, work, |node| {
+            let buf = &locals[node];
+            let mut o = Vec::with_capacity(buf.len());
+            for (i, j, off) in layout.local_elements(node) {
+                o.push(f(i, j, buf[off]));
+            }
+            o
+        });
+        hc.charge_flops(layout.max_local_len());
+        DistMatrix::from_parts(layout, out)
+    }
+
+    /// In-place elementwise update: `self[i][j] = f(i, j, self[i][j])`.
+    pub fn map_inplace(&mut self, hc: &mut Hypercube, f: impl Fn(usize, usize, T) -> T + Sync) {
+        let layout = self.layout().clone();
+        let work = layout.max_local_len().saturating_mul(layout.grid().p());
+        crate::par::for_each_node(self.locals_mut(), work, |node, buf| {
+            // local_elements is in offset order, so a plain walk works.
+            for (i, j, off) in layout.local_elements(node) {
+                buf[off] = f(i, j, buf[off]);
+            }
+        });
+        hc.charge_flops(layout.max_local_len());
+    }
+
+    /// Elementwise combination of two same-layout matrices:
+    /// `out[i][j] = f(self[i][j], other[i][j])`.
+    #[must_use]
+    pub fn zip<U: Scalar, V: Scalar>(
+        &self,
+        hc: &mut Hypercube,
+        other: &DistMatrix<U>,
+        f: impl Fn(T, U) -> V + Sync,
+    ) -> DistMatrix<V> {
+        assert_eq!(
+            self.layout(),
+            other.layout(),
+            "elementwise operands must share a layout"
+        );
+        let layout = self.layout().clone();
+        let p = layout.grid().p();
+        let work = layout.max_local_len().saturating_mul(p);
+        let lhs = self.locals();
+        let rhs = other.locals();
+        let out = crate::par::map_nodes::<T, V>(p, work, |node| {
+            lhs[node].iter().zip(&rhs[node]).map(|(&x, &y)| f(x, y)).collect()
+        });
+        hc.charge_flops(layout.max_local_len());
+        DistMatrix::from_parts(layout, out)
+    }
+
+    /// Combine with an axis-aligned **replicated** vector:
+    /// for `Axis::Row`, `out[i][j] = f(i, j, self[i][j], v[j])` (a row
+    /// vector is indexed by column); for `Axis::Col`,
+    /// `out[i][j] = f(i, j, self[i][j], v[i])`.
+    ///
+    /// # Panics
+    /// Panics unless `v` is aligned along `axis`, replicated, and chunked
+    /// exactly like the matrix's corresponding axis — the alignment that
+    /// makes the operation local. (Use `replicate`/`remap` to get there.)
+    #[must_use]
+    pub fn zip_axis<U: Scalar, V: Scalar>(
+        &self,
+        hc: &mut Hypercube,
+        axis: Axis,
+        v: &DistVector<U>,
+        f: impl Fn(usize, usize, T, U) -> V + Sync,
+    ) -> DistMatrix<V> {
+        self.check_axis_aligned(axis, v);
+        let layout = self.layout().clone();
+        let cols_per_node: Vec<usize> = (0..layout.grid().p())
+            .map(|node| layout.local_shape(node).1)
+            .collect();
+        let mut out: Vec<Vec<V>> = Vec::with_capacity(self.locals().len());
+        for (node, buf) in self.locals().iter().enumerate() {
+            let chunk = &v.locals()[node];
+            let lc = cols_per_node[node];
+            let mut o = Vec::with_capacity(buf.len());
+            for (i, j, off) in layout.local_elements(node) {
+                let slot = match axis {
+                    Axis::Row => off % lc.max(1),
+                    Axis::Col => off / lc.max(1),
+                };
+                o.push(f(i, j, buf[off], chunk[slot]));
+            }
+            out.push(o);
+        }
+        hc.charge_flops(layout.max_local_len());
+        DistMatrix::from_parts(layout, out)
+    }
+
+    /// In-place variant of [`DistMatrix::zip_axis`].
+    pub fn zip_axis_inplace<U: Scalar>(
+        &mut self,
+        hc: &mut Hypercube,
+        axis: Axis,
+        v: &DistVector<U>,
+        f: impl Fn(usize, usize, T, U) -> T + Sync,
+    ) {
+        self.check_axis_aligned(axis, v);
+        let layout = self.layout().clone();
+        for node in 0..layout.grid().p() {
+            let lc = layout.local_shape(node).1;
+            let chunk: Vec<U> = v.locals()[node].clone();
+            let buf = &mut self.locals_mut()[node];
+            for (i, j, off) in layout.local_elements(node) {
+                let slot = match axis {
+                    Axis::Row => off % lc.max(1),
+                    Axis::Col => off / lc.max(1),
+                };
+                buf[off] = f(i, j, buf[off], chunk[slot]);
+            }
+        }
+        hc.charge_flops(layout.max_local_len());
+    }
+
+    /// The rank-1 update kernel shared by Gaussian elimination and
+    /// simplex pivoting: `self[i][j] = f(i, j, self[i][j], col[i], row[j])`
+    /// with `col` a replicated column vector and `row` a replicated row
+    /// vector. Two aligned reads per element, still purely local.
+    pub fn rank1_update<U: Scalar, V: Scalar>(
+        &mut self,
+        hc: &mut Hypercube,
+        col: &DistVector<U>,
+        row: &DistVector<V>,
+        f: impl Fn(usize, usize, T, U, V) -> T + Sync,
+    ) {
+        self.check_axis_aligned(Axis::Col, col);
+        self.check_axis_aligned(Axis::Row, row);
+        let layout = self.layout().clone();
+        let work = layout.max_local_len().saturating_mul(layout.grid().p());
+        let col_locals = col.locals();
+        let row_locals = row.locals();
+        crate::par::for_each_node(self.locals_mut(), work, |node, buf| {
+            let lc = layout.local_shape(node).1;
+            let col_chunk = &col_locals[node];
+            let row_chunk = &row_locals[node];
+            for (i, j, off) in layout.local_elements(node) {
+                let li = off / lc.max(1);
+                let lj = off % lc.max(1);
+                buf[off] = f(i, j, buf[off], col_chunk[li], row_chunk[lj]);
+            }
+        });
+        // Two flops (multiply + subtract) per element is the honest count
+        // for the canonical a -= c*r; charge 2 per element.
+        hc.charge_flops(2 * layout.max_local_len());
+    }
+
+    /// Range-restricted rank-1 update: apply
+    /// `self[i][j] = f(i, j, self[i][j], col[i], row[j])` only for
+    /// `i in rows`, `j in cols`, touching — and charging — only the local
+    /// slots inside the ranges. This is the active-submatrix update of
+    /// Gaussian elimination: with a cyclic layout the charged critical
+    /// path shrinks with the active region, with a block layout it
+    /// concentrates on the processors owning the trailing corner — the
+    /// load-balance difference bench T4 measures.
+    pub fn rank1_update_ranged<U: Scalar, V: Scalar>(
+        &mut self,
+        hc: &mut Hypercube,
+        col: &DistVector<U>,
+        row: &DistVector<V>,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<usize>,
+        f: impl Fn(usize, usize, T, U, V) -> T + Sync,
+    ) {
+        self.check_axis_aligned(Axis::Col, col);
+        self.check_axis_aligned(Axis::Row, row);
+        let layout = self.layout().clone();
+        let grid = layout.grid().clone();
+        let mut critical = 0usize;
+        for node in 0..grid.p() {
+            let (gr, gc) = grid.grid_coords(node);
+            let li_range = layout.rows().local_slot_range(gr, rows.start, rows.end);
+            let lj_range = layout.cols().local_slot_range(gc, cols.start, cols.end);
+            critical = critical.max(li_range.len() * lj_range.len());
+        }
+        let col_locals = col.locals();
+        let row_locals = row.locals();
+        let work = critical.saturating_mul(grid.p());
+        crate::par::for_each_node(self.locals_mut(), work, |node, buf| {
+            let (gr, gc) = grid.grid_coords(node);
+            let li_range = layout.rows().local_slot_range(gr, rows.start, rows.end);
+            let lj_range = layout.cols().local_slot_range(gc, cols.start, cols.end);
+            if li_range.is_empty() || lj_range.is_empty() {
+                return;
+            }
+            let lc = layout.local_shape(node).1;
+            let col_chunk = &col_locals[node];
+            let row_chunk = &row_locals[node];
+            for li in li_range {
+                let i = layout.rows().global_index(gr, li);
+                for lj in lj_range.clone() {
+                    let j = layout.cols().global_index(gc, lj);
+                    let off = li * lc + lj;
+                    buf[off] = f(i, j, buf[off], col_chunk[li], row_chunk[lj]);
+                }
+            }
+        });
+        hc.charge_flops(2 * critical);
+    }
+
+    fn check_axis_aligned<U: Scalar>(&self, axis: Axis, v: &DistVector<U>) {
+        use vmp_layout::{Placement, VecEmbedding};
+        let expected_dist = self.layout().vector_dist(axis);
+        match v.layout().embedding() {
+            VecEmbedding::Aligned { axis: va, placement: Placement::Replicated } if *va == axis => {
+                assert_eq!(
+                    v.layout().dist(),
+                    expected_dist,
+                    "vector chunking must match the matrix's {axis:?} distribution"
+                );
+            }
+            other => panic!(
+                "vector must be {axis:?}-aligned and replicated for local combination, got {other:?}"
+            ),
+        }
+    }
+}
+
+impl<T: Scalar> DistVector<T> {
+    /// Elementwise map with the global index: `out[i] = f(i, self[i])`.
+    #[must_use]
+    pub fn map<U: Scalar>(
+        &self,
+        hc: &mut Hypercube,
+        f: impl Fn(usize, T) -> U + Sync,
+    ) -> DistVector<U> {
+        let layout = self.layout().clone();
+        let mut out: Vec<Vec<U>> = Vec::with_capacity(self.locals().len());
+        let mut max_chunk = 0usize;
+        for (node, buf) in self.locals().iter().enumerate() {
+            max_chunk = max_chunk.max(buf.len());
+            if buf.is_empty() {
+                out.push(Vec::new());
+                continue;
+            }
+            let part = layout.part_of(node);
+            let o = buf
+                .iter()
+                .enumerate()
+                .map(|(slot, &x)| f(layout.dist().global_index(part, slot), x))
+                .collect();
+            out.push(o);
+        }
+        hc.charge_flops(max_chunk);
+        DistVector::from_parts(layout, out)
+    }
+
+    /// Elementwise combination of two identically laid out vectors.
+    #[must_use]
+    pub fn zip<U: Scalar, V: Scalar>(
+        &self,
+        hc: &mut Hypercube,
+        other: &DistVector<U>,
+        f: impl Fn(usize, T, U) -> V + Sync,
+    ) -> DistVector<V> {
+        assert_eq!(self.layout(), other.layout(), "zip operands must share a layout");
+        let layout = self.layout().clone();
+        let mut out: Vec<Vec<V>> = Vec::with_capacity(self.locals().len());
+        let mut max_chunk = 0usize;
+        for node in 0..self.locals().len() {
+            let a = &self.locals()[node];
+            let b = &other.locals()[node];
+            max_chunk = max_chunk.max(a.len());
+            if a.is_empty() {
+                out.push(Vec::new());
+                continue;
+            }
+            let part = layout.part_of(node);
+            let o = a
+                .iter()
+                .zip(b)
+                .enumerate()
+                .map(|(slot, (&x, &y))| f(layout.dist().global_index(part, slot), x, y))
+                .collect();
+            out.push(o);
+        }
+        hc.charge_flops(max_chunk);
+        DistVector::from_parts(layout, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmp_hypercube::cost::CostModel;
+    use vmp_hypercube::topology::Cube;
+    use vmp_layout::{Dist, MatShape, MatrixLayout, Placement, ProcGrid, VectorLayout};
+
+    fn setup(rows: usize, cols: usize) -> (Hypercube, MatrixLayout) {
+        let grid = ProcGrid::new(Cube::new(4), 2);
+        let layout =
+            MatrixLayout::new(MatShape::new(rows, cols), grid, Dist::Cyclic, Dist::Cyclic);
+        (Hypercube::new(4, CostModel::unit()), layout)
+    }
+
+    #[test]
+    fn map_applies_with_global_indices() {
+        let (mut hc, layout) = setup(6, 7);
+        let m = DistMatrix::from_fn(layout, |i, j| (i + j) as i64);
+        let out = m.map(&mut hc, |i, j, v| v * 2 + (i == j) as i64);
+        for i in 0..6 {
+            for j in 0..7 {
+                assert_eq!(out.get(i, j), 2 * (i + j) as i64 + (i == j) as i64);
+            }
+        }
+        assert!(hc.counters().flops > 0);
+    }
+
+    #[test]
+    fn zip_combines_same_layout_matrices() {
+        let (mut hc, layout) = setup(5, 5);
+        let a = DistMatrix::from_fn(layout.clone(), |i, j| (i * 5 + j) as f64);
+        let b = DistMatrix::from_fn(layout, |i, j| (i as f64) - (j as f64));
+        let c = a.zip(&mut hc, &b, |x, y| x * y);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(c.get(i, j), ((i * 5 + j) as f64) * (i as f64 - j as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn zip_axis_row_vector_indexes_by_column() {
+        let (mut hc, layout) = setup(4, 6);
+        let m = DistMatrix::from_fn(layout.clone(), |i, j| (i * 10 + j) as f64);
+        let vl = VectorLayout::aligned(
+            6,
+            layout.grid().clone(),
+            Axis::Row,
+            Placement::Replicated,
+            Dist::Cyclic,
+        );
+        let v = DistVector::from_fn(vl, |j| j as f64 + 100.0);
+        let out = m.zip_axis(&mut hc, Axis::Row, &v, |_, j, a, x| {
+            assert_eq!(x, j as f64 + 100.0);
+            a + x
+        });
+        for i in 0..4 {
+            for j in 0..6 {
+                assert_eq!(out.get(i, j), (i * 10 + j) as f64 + j as f64 + 100.0);
+            }
+        }
+    }
+
+    #[test]
+    fn zip_axis_col_vector_indexes_by_row() {
+        let (mut hc, layout) = setup(8, 3);
+        let m = DistMatrix::from_fn(layout.clone(), |i, j| (i * 10 + j) as f64);
+        let vl = VectorLayout::aligned(
+            8,
+            layout.grid().clone(),
+            Axis::Col,
+            Placement::Replicated,
+            Dist::Cyclic,
+        );
+        let v = DistVector::from_fn(vl, |i| (i * i) as f64);
+        let out = m.zip_axis(&mut hc, Axis::Col, &v, |i, _, a, x| {
+            assert_eq!(x, (i * i) as f64);
+            a * x
+        });
+        for i in 0..8 {
+            for j in 0..3 {
+                assert_eq!(out.get(i, j), (i * 10 + j) as f64 * (i * i) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn rank1_update_is_the_ge_kernel() {
+        let (mut hc, layout) = setup(6, 6);
+        let mut m = DistMatrix::from_fn(layout.clone(), |i, j| (i * 6 + j) as f64);
+        let col_l = VectorLayout::aligned(
+            6,
+            layout.grid().clone(),
+            Axis::Col,
+            Placement::Replicated,
+            Dist::Cyclic,
+        );
+        let row_l = VectorLayout::aligned(
+            6,
+            layout.grid().clone(),
+            Axis::Row,
+            Placement::Replicated,
+            Dist::Cyclic,
+        );
+        let col = DistVector::from_fn(col_l, |i| (i + 1) as f64);
+        let row = DistVector::from_fn(row_l, |j| (j + 2) as f64);
+        m.rank1_update(&mut hc, &col, &row, |_, _, a, c, r| a - c * r);
+        for i in 0..6 {
+            for j in 0..6 {
+                let expect = (i * 6 + j) as f64 - (i + 1) as f64 * (j + 2) as f64;
+                assert_eq!(m.get(i, j), expect);
+            }
+        }
+        assert_eq!(
+            hc.counters().flops,
+            2 * m.layout().max_local_len() as u64,
+            "two flops per local element on the critical path"
+        );
+    }
+
+    #[test]
+    fn rank1_update_ranged_touches_only_the_window() {
+        for kind in [Dist::Block, Dist::Cyclic] {
+            let grid = ProcGrid::new(Cube::new(4), 2);
+            let layout = MatrixLayout::new(MatShape::new(9, 9), grid, kind, kind);
+            let mut hc = Hypercube::new(4, CostModel::unit());
+            let mut m = DistMatrix::from_fn(layout.clone(), |i, j| (i * 9 + j) as f64);
+            let mut expect = m.to_dense();
+            let col_l = VectorLayout::aligned(9, layout.grid().clone(), Axis::Col, Placement::Replicated, kind);
+            let row_l = VectorLayout::aligned(9, layout.grid().clone(), Axis::Row, Placement::Replicated, kind);
+            let col = DistVector::from_fn(col_l, |i| (i + 1) as f64);
+            let row = DistVector::from_fn(row_l, |j| (j + 2) as f64);
+            m.rank1_update_ranged(&mut hc, &col, &row, 3..7, 2..9, |_, _, a, c, r| a - c * r);
+            for (i, row_e) in expect.iter_mut().enumerate() {
+                for (j, e) in row_e.iter_mut().enumerate() {
+                    if (3..7).contains(&i) && (2..9).contains(&j) {
+                        *e -= (i + 1) as f64 * (j + 2) as f64;
+                    }
+                }
+            }
+            assert_eq!(m.to_dense(), expect, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn ranged_update_charges_less_than_full() {
+        let grid = ProcGrid::new(Cube::new(4), 2);
+        let layout = MatrixLayout::new(MatShape::new(16, 16), grid, Dist::Cyclic, Dist::Cyclic);
+        let col_l = VectorLayout::aligned(16, layout.grid().clone(), Axis::Col, Placement::Replicated, Dist::Cyclic);
+        let row_l = VectorLayout::aligned(16, layout.grid().clone(), Axis::Row, Placement::Replicated, Dist::Cyclic);
+        let col = DistVector::from_fn(col_l, |i| i as f64);
+        let row = DistVector::from_fn(row_l, |j| j as f64);
+
+        let mut hc_full = Hypercube::new(4, CostModel::unit());
+        let mut m1 = DistMatrix::from_fn(layout.clone(), |_, _| 1.0f64);
+        m1.rank1_update(&mut hc_full, &col, &row, |_, _, a, _, _| a);
+
+        let mut hc_ranged = Hypercube::new(4, CostModel::unit());
+        let mut m2 = DistMatrix::from_fn(layout, |_, _| 1.0f64);
+        m2.rank1_update_ranged(&mut hc_ranged, &col, &row, 12..16, 12..16, |_, _, a, _, _| a);
+
+        assert!(
+            hc_ranged.counters().flops < hc_full.counters().flops / 4,
+            "ranged {} vs full {}",
+            hc_ranged.counters().flops,
+            hc_full.counters().flops
+        );
+    }
+
+    #[test]
+    fn vector_map_and_zip() {
+        let grid = ProcGrid::new(Cube::new(3), 1);
+        let mut hc = Hypercube::new(3, CostModel::unit());
+        let layout = VectorLayout::linear(10, grid, Dist::Block);
+        let v = DistVector::from_fn(layout.clone(), |i| i as i64);
+        let w = v.map(&mut hc, |i, x| x * 2 + i as i64);
+        assert_eq!(w.to_dense(), (0..10).map(|i| 3 * i as i64).collect::<Vec<_>>());
+        let z = v.zip(&mut hc, &w, |_, a, b| a + b);
+        assert_eq!(z.to_dense(), (0..10).map(|i| 4 * i as i64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned and replicated")]
+    fn zip_axis_rejects_concentrated_vectors() {
+        let (mut hc, layout) = setup(4, 4);
+        let m = DistMatrix::from_fn(layout.clone(), |_, _| 0.0f64);
+        let vl = VectorLayout::aligned(
+            4,
+            layout.grid().clone(),
+            Axis::Row,
+            Placement::Concentrated(0),
+            Dist::Cyclic,
+        );
+        let v = DistVector::from_fn(vl, |_| 0.0f64);
+        let _ = m.zip_axis(&mut hc, Axis::Row, &v, |_, _, a, _| a);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunking must match")]
+    fn zip_axis_rejects_mismatched_chunking() {
+        let (mut hc, layout) = setup(4, 4);
+        let m = DistMatrix::from_fn(layout.clone(), |_, _| 0.0f64);
+        let vl = VectorLayout::aligned(
+            4,
+            layout.grid().clone(),
+            Axis::Row,
+            Placement::Replicated,
+            Dist::Block, // matrix is cyclic
+        );
+        let v = DistVector::from_fn(vl, |_| 0.0f64);
+        let _ = m.zip_axis(&mut hc, Axis::Row, &v, |_, _, a, _| a);
+    }
+}

@@ -1,0 +1,140 @@
+//! Indexed (irregular) gather — `out[i] = values[index[i]]`.
+//!
+//! The APL-style companion of the four primitives: where `extract` pulls
+//! one *line* of a matrix, indexed gather pulls an arbitrary permutation
+//! or many-to-one selection of vector elements. On the machine it is a
+//! two-phase routed request/reply — the pattern behind pointer jumping
+//! (`vmp_algos::listrank`), table lookups, and gather-type image
+//! operations in the surrounding corpus.
+
+use vmp_hypercube::machine::Hypercube;
+use vmp_hypercube::route::{route_blocks, Block};
+use vmp_layout::VecEmbedding;
+
+use crate::elem::Scalar;
+use crate::vector::DistVector;
+
+/// `out[i] = values[index[i]]` for arbitrary (possibly repeated)
+/// indices. Two blocked routed phases: requests to the owners, replies
+/// to the askers.
+///
+/// # Panics
+/// Panics if the layouts differ, the embedding is not linear (indexed
+/// gather addresses a flat vector), or an index is out of range.
+pub fn gather_by_index<T: Scalar>(
+    hc: &mut Hypercube,
+    values: &DistVector<T>,
+    index: &DistVector<usize>,
+) -> DistVector<T> {
+    let layout = values.layout().clone();
+    assert_eq!(&layout, index.layout(), "values and index must share a layout");
+    assert!(
+        matches!(layout.embedding(), VecEmbedding::Linear),
+        "indexed gather addresses the linear embedding"
+    );
+    let n = layout.n();
+    let p = layout.grid().p();
+
+    // Phase 1: requests. Each position i asks the owner of index[i].
+    let mut requests: Vec<Vec<Block<usize>>> = vec![Vec::new(); p];
+    for src in 0..p {
+        let part = layout.part_of(src);
+        for (slot, &t) in index.chunks()[src].iter().enumerate() {
+            assert!(t < n, "index {t} out of range 0..{n}");
+            let i = layout.dist().global_index(part, slot);
+            let owner = layout.primary_holder(t);
+            requests[src].push(Block::new(owner, i as u64, vec![t]));
+        }
+    }
+    let arrived = route_blocks(hc, requests);
+
+    // Phase 2: replies. Owners look up and send back to the asker's
+    // owner, tagged with the asking index.
+    let mut replies: Vec<Vec<Block<T>>> = vec![Vec::new(); p];
+    let mut lookup_work = 0usize;
+    for node in 0..p {
+        lookup_work = lookup_work.max(arrived[node].len());
+        for req in &arrived[node] {
+            let t = req.data[0];
+            let v = values.chunks()[node][layout.dist().local_index(t)];
+            let asker = req.tag as usize;
+            replies[node].push(Block::new(layout.primary_holder(asker), req.tag, vec![v]));
+        }
+    }
+    hc.charge_flops(lookup_work);
+    let answered = route_blocks(hc, replies);
+
+    // Assemble.
+    let mut locals: Vec<Vec<T>> = vec![Vec::new(); p];
+    for node in 0..p {
+        let len = layout.local_len(node);
+        if len == 0 {
+            continue;
+        }
+        let mut chunk: Vec<Option<T>> = vec![None; len];
+        for b in &answered[node] {
+            let i = b.tag as usize;
+            chunk[layout.dist().local_index(i)] = Some(b.data[0]);
+        }
+        locals[node] = chunk.into_iter().map(|s| s.expect("every request answered")).collect();
+    }
+    DistVector::from_parts(layout, locals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmp_hypercube::cost::CostModel;
+    use vmp_hypercube::topology::Cube;
+    use vmp_layout::{Dist, ProcGrid, VectorLayout};
+
+    fn setup(n: usize, dim: u32) -> (Hypercube, VectorLayout) {
+        let grid = ProcGrid::square(Cube::new(dim));
+        (
+            Hypercube::new(dim, CostModel::cm2()),
+            VectorLayout::linear(n, grid, Dist::Block),
+        )
+    }
+
+    #[test]
+    fn gathers_a_permutation() {
+        let n = 20;
+        let (mut hc, layout) = setup(n, 4);
+        let values = DistVector::from_fn(layout.clone(), |i| (i * 11) as i64);
+        let index = DistVector::from_fn(layout, |i| (i * 7) % n);
+        let out = gather_by_index(&mut hc, &values, &index);
+        out.assert_consistent();
+        for i in 0..n {
+            assert_eq!(out.get(i), ((i * 7) % n * 11) as i64);
+        }
+    }
+
+    #[test]
+    fn repeated_indices_fan_out() {
+        let n = 16;
+        let (mut hc, layout) = setup(n, 3);
+        let values = DistVector::from_fn(layout.clone(), |i| i as i64);
+        let index = DistVector::constant(layout, 5usize); // everyone reads 5
+        let out = gather_by_index(&mut hc, &values, &index);
+        assert!(out.to_dense().iter().all(|&v| v == 5));
+    }
+
+    #[test]
+    fn identity_gather_is_identity() {
+        let n = 13;
+        let (mut hc, layout) = setup(n, 2);
+        let values = DistVector::from_fn(layout.clone(), |i| (i as f64).sin());
+        let index = DistVector::from_fn(layout, |i| i);
+        let out = gather_by_index(&mut hc, &values, &index);
+        assert_eq!(out.to_dense(), values.to_dense());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        let (mut hc, layout) = setup(4, 1);
+        let values = DistVector::from_fn(layout.clone(), |i| i as i64);
+        let index = DistVector::constant(layout, 9usize);
+        let _ = gather_by_index(&mut hc, &values, &index);
+    }
+}

@@ -1,0 +1,172 @@
+//! The distributed dense matrix.
+
+use vmp_layout::{MatShape, MatrixLayout};
+
+use crate::elem::Scalar;
+
+/// A dense matrix distributed over the simulated machine according to a
+/// [`MatrixLayout`]. Each node stores its block row-major in local slot
+/// order; the container really holds all the data (the simulation is
+/// functional), and host-side accessors (`get`, `to_dense`) exist for
+/// tests and I/O — they charge nothing and model nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistMatrix<T> {
+    layout: MatrixLayout,
+    locals: Vec<Vec<T>>,
+}
+
+impl<T: Scalar> DistMatrix<T> {
+    /// Materialise a matrix from `f(i, j)` (host-side initialisation; no
+    /// machine charge — loading data onto the machine is outside the
+    /// paper's measurements).
+    #[must_use]
+    pub fn from_fn(layout: MatrixLayout, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let p = layout.grid().p();
+        let mut locals: Vec<Vec<T>> = Vec::with_capacity(p);
+        for node in 0..p {
+            let mut buf = Vec::with_capacity(layout.local_len(node));
+            for (i, j, off) in layout.local_elements(node) {
+                debug_assert_eq!(off, buf.len());
+                buf.push(f(i, j));
+            }
+            locals.push(buf);
+        }
+        DistMatrix { layout, locals }
+    }
+
+    /// A matrix with every element `value`.
+    #[must_use]
+    pub fn constant(layout: MatrixLayout, value: T) -> Self {
+        Self::from_fn(layout, |_, _| value)
+    }
+
+    /// Materialise from a dense row-major `rows x cols` host matrix.
+    ///
+    /// # Panics
+    /// Panics if `dense` does not match the layout's shape.
+    #[must_use]
+    pub fn from_dense(layout: MatrixLayout, dense: &[Vec<T>]) -> Self {
+        let shape = layout.shape();
+        assert_eq!(dense.len(), shape.rows, "row count mismatch");
+        for row in dense {
+            assert_eq!(row.len(), shape.cols, "column count mismatch");
+        }
+        Self::from_fn(layout, |i, j| dense[i][j])
+    }
+
+    /// The embedding.
+    #[must_use]
+    pub fn layout(&self) -> &MatrixLayout {
+        &self.layout
+    }
+
+    /// Matrix shape.
+    #[must_use]
+    pub fn shape(&self) -> MatShape {
+        self.layout.shape()
+    }
+
+    /// Host-side read of element `(i, j)` (tests / output only).
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        let node = self.layout.owner(i, j);
+        self.locals[node][self.layout.local_offset(i, j)]
+    }
+
+    /// Host-side copy to a dense row-major matrix (tests / output only).
+    #[must_use]
+    pub fn to_dense(&self) -> Vec<Vec<T>> {
+        let shape = self.shape();
+        let mut dense: Vec<Vec<Option<T>>> = vec![vec![None; shape.cols]; shape.rows];
+        for (node, buf) in self.locals.iter().enumerate() {
+            for (i, j, off) in self.layout.local_elements(node) {
+                dense[i][j] = Some(buf[off]);
+            }
+        }
+        dense
+            .into_iter()
+            .map(|row| row.into_iter().map(|v| v.expect("layout covers all elements")).collect())
+            .collect()
+    }
+
+    /// Per-node local buffers (crate-internal: the primitives operate on
+    /// these; applications go through the primitives).
+    pub(crate) fn locals(&self) -> &[Vec<T>] {
+        &self.locals
+    }
+
+    /// Mutable per-node local buffers (crate-internal).
+    pub(crate) fn locals_mut(&mut self) -> &mut [Vec<T>] {
+        &mut self.locals
+    }
+
+    /// Assemble from parts (crate-internal).
+    pub(crate) fn from_parts(layout: MatrixLayout, locals: Vec<Vec<T>>) -> Self {
+        debug_assert_eq!(locals.len(), layout.grid().p());
+        for (node, buf) in locals.iter().enumerate() {
+            debug_assert_eq!(buf.len(), layout.local_len(node), "node {node} buffer length");
+        }
+        DistMatrix { layout, locals }
+    }
+
+    /// Validate the invariant that every node holds exactly its layout's
+    /// local elements. Cheap; used liberally by tests.
+    pub fn assert_consistent(&self) {
+        assert_eq!(self.locals.len(), self.layout.grid().p());
+        for (node, buf) in self.locals.iter().enumerate() {
+            assert_eq!(buf.len(), self.layout.local_len(node), "node {node} buffer length");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmp_hypercube::topology::Cube;
+    use vmp_layout::{Dist, ProcGrid};
+
+    fn layout(rows: usize, cols: usize, dim: u32, dr: u32, kind: Dist) -> MatrixLayout {
+        MatrixLayout::new(MatShape::new(rows, cols), ProcGrid::new(Cube::new(dim), dr), kind, kind)
+    }
+
+    #[test]
+    fn from_fn_get_roundtrip() {
+        for kind in [Dist::Block, Dist::Cyclic] {
+            let m = DistMatrix::from_fn(layout(7, 9, 4, 2, kind), |i, j| (i * 100 + j) as i64);
+            m.assert_consistent();
+            for i in 0..7 {
+                for j in 0..9 {
+                    assert_eq!(m.get(i, j), (i * 100 + j) as i64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn to_dense_matches_from_dense() {
+        let dense: Vec<Vec<f64>> =
+            (0..5).map(|i| (0..6).map(|j| (i as f64) * 2.5 - j as f64).collect()).collect();
+        let m = DistMatrix::from_dense(layout(5, 6, 3, 1, Dist::Cyclic), &dense);
+        assert_eq!(m.to_dense(), dense);
+    }
+
+    #[test]
+    fn constant_fills_everything() {
+        let m = DistMatrix::constant(layout(4, 4, 2, 1, Dist::Block), 7i32);
+        assert!(m.to_dense().into_iter().flatten().all(|v| v == 7));
+    }
+
+    #[test]
+    fn single_node_layout_works() {
+        let m = DistMatrix::from_fn(layout(3, 3, 0, 0, Dist::Block), |i, j| (i + j) as i32);
+        assert_eq!(m.get(2, 1), 3);
+        m.assert_consistent();
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn from_dense_checks_shape() {
+        let rows = vec![vec![1.0f64; 3]; 2];
+        let _ = DistMatrix::from_dense(layout(3, 3, 1, 1, Dist::Block), &rows);
+    }
+}

@@ -1,0 +1,476 @@
+//! Naive implementations of the four primitives — the paper's baseline.
+//!
+//! The abstract's engineering headline: the primitive-based
+//! implementation *"improved the running time of some of our applications
+//! by almost an order of magnitude over a naive implementation."* The
+//! naive implementation is the one every first CM program wrote: give
+//! each element to a virtual processor and move data with the **general
+//! router, one element per message**. Semantically these functions are
+//! identical to [`crate::primitives`] (tests assert bit-equality); the
+//! difference is purely *how* the data moves:
+//!
+//! | | optimized | naive |
+//! |---|---|---|
+//! | start-ups | `O(lg p)` blocked messages | one router injection **per element** |
+//! | combining | tree/butterfly, `lg p` depth | serial fold at the destination |
+//! | hot spots | none (balanced trees) | everyone hits the owning line's nodes |
+//!
+//! Bench T3/F3 measure the resulting gap under the CM-2 cost preset.
+
+use vmp_hypercube::machine::Hypercube;
+use vmp_hypercube::router::{route_elements, ElemMsg};
+use vmp_layout::{Axis, Dist, MatShape, MatrixLayout, Placement, VecEmbedding, VectorLayout};
+
+use crate::elem::{ReduceOp, Scalar};
+use crate::matrix::DistMatrix;
+use crate::vector::DistVector;
+
+/// Naive `reduce`: every node routes each element of its local partial
+/// vector **individually** to the primary holder of the result chunk,
+/// which folds arrivals serially. Result embedding matches
+/// [`crate::primitives::reduce`] (replicated), with the replication also
+/// done element-by-element through the router.
+pub fn naive_reduce<T: Scalar, O: ReduceOp<T>>(
+    hc: &mut Hypercube,
+    m: &DistMatrix<T>,
+    axis: Axis,
+    op: O,
+) -> DistVector<T> {
+    let layout = m.layout().clone();
+    let grid = layout.grid().clone();
+    let p = grid.p();
+    let n = layout.shape().vector_len(axis);
+    let result_layout = VectorLayout::aligned(
+        n,
+        grid.clone(),
+        axis,
+        Placement::Replicated,
+        layout.vector_dist(axis).kind(),
+    );
+
+    // Local fold (same as optimized: the obvious code is local here).
+    let mut partials: Vec<Vec<T>> = Vec::with_capacity(p);
+    for node in 0..p {
+        let (lr, lc) = layout.local_shape(node);
+        let buf = &m.locals()[node];
+        let out_len = match axis {
+            Axis::Row => lc,
+            Axis::Col => lr,
+        };
+        let mut acc = vec![op.identity(); out_len];
+        for li in 0..lr {
+            for lj in 0..lc {
+                let v = buf[li * lc + lj];
+                let slot = match axis {
+                    Axis::Row => lj,
+                    Axis::Col => li,
+                };
+                acc[slot] = op.combine(acc[slot], v);
+            }
+        }
+        partials.push(acc);
+    }
+    hc.charge_flops(layout.max_local_len());
+
+    // Route every partial element individually to the primary holder of
+    // its result index (grid line 0 of the orthogonal direction).
+    let dist = result_layout.dist();
+    let mut outgoing: Vec<Vec<ElemMsg<T>>> = vec![Vec::new(); p];
+    for node in 0..p {
+        let (gr, gc) = grid.grid_coords(node);
+        let part = match axis {
+            Axis::Row => gc,
+            Axis::Col => gr,
+        };
+        let is_primary = match axis {
+            Axis::Row => gr == 0,
+            Axis::Col => gc == 0,
+        };
+        if is_primary {
+            continue; // already home; folds locally below
+        }
+        for (slot, &v) in partials[node].iter().enumerate() {
+            let i = dist.global_index(part, slot);
+            let dst = result_layout.primary_holder(i);
+            outgoing[node].push(ElemMsg::new(dst, (i * p + node) as u64, v));
+        }
+    }
+    let (arrived, _) = route_elements(hc, outgoing);
+
+    // Serial fold of arrivals at each primary node.
+    let mut result: Vec<Vec<T>> = vec![Vec::new(); p];
+    let mut max_folds = 0usize;
+    for node in 0..p {
+        let (gr, gc) = grid.grid_coords(node);
+        let is_primary = match axis {
+            Axis::Row => gr == 0,
+            Axis::Col => gc == 0,
+        };
+        if !is_primary {
+            continue;
+        }
+        let part = match axis {
+            Axis::Row => gc,
+            Axis::Col => gr,
+        };
+        let mut acc = std::mem::take(&mut partials[node]);
+        max_folds = max_folds.max(arrived[node].len());
+        for msg in &arrived[node] {
+            let i = msg.tag as usize / p;
+            let slot = dist.local_index(i);
+            acc[slot] = op.combine(acc[slot], msg.val);
+        }
+        let _ = part;
+        result[node] = acc;
+    }
+    hc.charge_flops(max_folds);
+
+    // Replicate element-by-element through the router, too.
+    naive_replicate_from_primary(hc, &result_layout, &mut result);
+    DistVector::from_parts(result_layout, result)
+}
+
+/// Naive `distribute`: every node fetches each element of its chunk
+/// individually from the vector's holders (hot spot on a concentrated
+/// source), then replicates locally.
+pub fn naive_distribute<T: Scalar>(
+    hc: &mut Hypercube,
+    v: &DistVector<T>,
+    count: usize,
+    stack_kind: Dist,
+) -> DistMatrix<T> {
+    let vl = v.layout().clone();
+    let (axis, placement) = match vl.embedding() {
+        VecEmbedding::Aligned { axis, placement } => (*axis, *placement),
+        VecEmbedding::Linear => panic!("distribute requires an axis-aligned vector"),
+    };
+    let grid = vl.grid().clone();
+    let p = grid.p();
+
+    // Everyone needs a copy of its chunk; a naive program pulls each
+    // element individually from the (single) holder.
+    let mut chunks: Vec<Vec<T>> = v.locals().to_vec();
+    if let Placement::Concentrated(line) = placement {
+        let mut outgoing: Vec<Vec<ElemMsg<T>>> = vec![Vec::new(); p];
+        for node in 0..p {
+            let (gr, gc) = grid.grid_coords(node);
+            let (src_ok, part) = match axis {
+                Axis::Row => (gr == line, gc),
+                Axis::Col => (gc == line, gr),
+            };
+            if !src_ok {
+                continue;
+            }
+            // The holder pushes each element to every other node of its
+            // grid line (orthogonal direction).
+            let lines = match axis {
+                Axis::Row => grid.pr(),
+                Axis::Col => grid.pc(),
+            };
+            for other in (0..lines).filter(|&l| l != line) {
+                let dst = match axis {
+                    Axis::Row => grid.node_at(other, part),
+                    Axis::Col => grid.node_at(part, other),
+                };
+                for (slot, &x) in v.locals()[node].iter().enumerate() {
+                    outgoing[node].push(ElemMsg::new(dst, slot as u64, x));
+                }
+            }
+        }
+        let (arrived, _) = route_elements(hc, outgoing);
+        for node in 0..p {
+            if !arrived[node].is_empty() {
+                chunks[node] = arrived[node].iter().map(|m| m.val).collect();
+            }
+        }
+    }
+
+    // Local replication (same as optimized).
+    let shape = match axis {
+        Axis::Row => MatShape::new(count, vl.n()),
+        Axis::Col => MatShape::new(vl.n(), count),
+    };
+    let layout = match axis {
+        Axis::Row => MatrixLayout::new(shape, grid.clone(), stack_kind, vl.dist().kind()),
+        Axis::Col => MatrixLayout::new(shape, grid.clone(), vl.dist().kind(), stack_kind),
+    };
+    let mut locals: Vec<Vec<T>> = Vec::with_capacity(p);
+    for node in 0..p {
+        let (lr, lc) = layout.local_shape(node);
+        let chunk = &chunks[node];
+        let mut buf = Vec::with_capacity(lr * lc);
+        match axis {
+            Axis::Row => {
+                for _ in 0..lr {
+                    buf.extend_from_slice(chunk);
+                }
+            }
+            Axis::Col => {
+                for &x in chunk {
+                    for _ in 0..lc {
+                        buf.push(x);
+                    }
+                }
+            }
+        }
+        locals.push(buf);
+    }
+    hc.charge_moves(layout.max_local_len());
+    DistMatrix::from_parts(layout, locals)
+}
+
+/// Naive `extract` + replication: the owning grid line's nodes send each
+/// element of the row individually to every other grid line — the "pivot
+/// row fan-out" hot spot that motivated the blocked primitives.
+pub fn naive_extract_replicated<T: Scalar>(
+    hc: &mut Hypercube,
+    m: &DistMatrix<T>,
+    axis: Axis,
+    index: usize,
+) -> DistVector<T> {
+    // Local pull of the line (same as optimized extract)...
+    let v = crate::primitives::extract(hc, m, axis, index);
+    let layout = v.layout().clone();
+    let grid = layout.grid().clone();
+    let p = grid.p();
+    let line = match layout.embedding() {
+        VecEmbedding::Aligned { placement: Placement::Concentrated(l), .. } => *l,
+        _ => unreachable!("extract returns a concentrated vector"),
+    };
+    // ...then element-granular fan-out instead of a tree broadcast.
+    let mut chunks = v.locals().to_vec();
+    let mut outgoing: Vec<Vec<ElemMsg<T>>> = vec![Vec::new(); p];
+    for node in 0..p {
+        let (gr, gc) = grid.grid_coords(node);
+        let (src_ok, part) = match axis {
+            Axis::Row => (gr == line, gc),
+            Axis::Col => (gc == line, gr),
+        };
+        if !src_ok {
+            continue;
+        }
+        let lines = match axis {
+            Axis::Row => grid.pr(),
+            Axis::Col => grid.pc(),
+        };
+        for other in (0..lines).filter(|&l| l != line) {
+            let dst = match axis {
+                Axis::Row => grid.node_at(other, part),
+                Axis::Col => grid.node_at(part, other),
+            };
+            for (slot, &x) in v.locals()[node].iter().enumerate() {
+                outgoing[node].push(ElemMsg::new(dst, slot as u64, x));
+            }
+        }
+    }
+    let (arrived, _) = route_elements(hc, outgoing);
+    for node in 0..p {
+        if !arrived[node].is_empty() {
+            chunks[node] = arrived[node].iter().map(|msg| msg.val).collect();
+        }
+    }
+    DistVector::from_parts(layout.with_placement(Placement::Replicated), chunks)
+}
+
+/// Naive `insert`: each holder of the vector sends each element
+/// individually to the matrix element's owner.
+pub fn naive_insert<T: Scalar>(
+    hc: &mut Hypercube,
+    m: &mut DistMatrix<T>,
+    axis: Axis,
+    index: usize,
+    v: &DistVector<T>,
+) {
+    let layout = m.layout().clone();
+    let grid = layout.grid().clone();
+    let p = grid.p();
+    assert_eq!(
+        v.layout().dist(),
+        layout.vector_dist(axis),
+        "vector chunking must match the matrix's {axis:?} distribution"
+    );
+    // Primary holders push each element to the owning matrix node.
+    let mut outgoing: Vec<Vec<ElemMsg<T>>> = vec![Vec::new(); p];
+    for src in 0..p {
+        if v.locals()[src].is_empty() {
+            continue;
+        }
+        let part = v.layout().part_of(src);
+        let i0 = v.layout().dist().global_index(part, 0);
+        if v.layout().primary_holder(i0) != src {
+            continue;
+        }
+        for (slot, &x) in v.locals()[src].iter().enumerate() {
+            let gi = v.layout().dist().global_index(part, slot);
+            let (i, j) = match axis {
+                Axis::Row => (index, gi),
+                Axis::Col => (gi, index),
+            };
+            let dst = layout.owner(i, j);
+            outgoing[src].push(ElemMsg::new(dst, layout.local_offset(i, j) as u64, x));
+        }
+    }
+    let (arrived, _) = route_elements(hc, outgoing);
+    for node in 0..p {
+        for msg in &arrived[node] {
+            m.locals_mut()[node][msg.tag as usize] = msg.val;
+        }
+    }
+}
+
+/// Element-granular replication of a vector from its primary line to all
+/// lines (helper for [`naive_reduce`]).
+fn naive_replicate_from_primary<T: Scalar>(
+    hc: &mut Hypercube,
+    layout: &VectorLayout,
+    locals: &mut [Vec<T>],
+) {
+    let (axis, _) = match layout.embedding() {
+        VecEmbedding::Aligned { axis, placement } => (*axis, *placement),
+        VecEmbedding::Linear => return,
+    };
+    let grid = layout.grid().clone();
+    let p = grid.p();
+    let mut outgoing: Vec<Vec<ElemMsg<T>>> = vec![Vec::new(); p];
+    for node in 0..p {
+        let (gr, gc) = grid.grid_coords(node);
+        let (is_primary, part) = match axis {
+            Axis::Row => (gr == 0, gc),
+            Axis::Col => (gc == 0, gr),
+        };
+        if !is_primary {
+            continue;
+        }
+        let lines = match axis {
+            Axis::Row => grid.pr(),
+            Axis::Col => grid.pc(),
+        };
+        for other in 1..lines {
+            let dst = match axis {
+                Axis::Row => grid.node_at(other, part),
+                Axis::Col => grid.node_at(part, other),
+            };
+            for (slot, &x) in locals[node].iter().enumerate() {
+                outgoing[node].push(ElemMsg::new(dst, slot as u64, x));
+            }
+        }
+    }
+    let (arrived, _) = route_elements(hc, outgoing);
+    for node in 0..p {
+        if !arrived[node].is_empty() {
+            locals[node] = arrived[node].iter().map(|m| m.val).collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elem::Sum;
+    use crate::primitives;
+    use vmp_hypercube::cost::CostModel;
+    use vmp_hypercube::topology::Cube;
+    use vmp_layout::ProcGrid;
+
+    fn setup(rows: usize, cols: usize) -> (Hypercube, DistMatrix<f64>) {
+        let layout = MatrixLayout::new(
+            MatShape::new(rows, cols),
+            ProcGrid::new(Cube::new(4), 2),
+            Dist::Cyclic,
+            Dist::Cyclic,
+        );
+        let m = DistMatrix::from_fn(layout, |i, j| ((i * 13 + j * 7) % 19) as f64 - 9.0);
+        (Hypercube::new(4, CostModel::cm2()), m)
+    }
+
+    #[test]
+    fn naive_reduce_matches_optimized() {
+        let (mut hc_n, m) = setup(12, 10);
+        let naive = naive_reduce(&mut hc_n, &m, Axis::Row, Sum);
+        let mut hc_o = Hypercube::new(4, CostModel::cm2());
+        let opt = primitives::reduce(&mut hc_o, &m, Axis::Row, Sum);
+        naive.assert_consistent();
+        assert_eq!(naive.layout(), opt.layout());
+        for (a, b) in naive.to_dense().iter().zip(opt.to_dense()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert!(
+            hc_n.elapsed_us() > hc_o.elapsed_us(),
+            "naive {} should exceed optimized {}",
+            hc_n.elapsed_us(),
+            hc_o.elapsed_us()
+        );
+    }
+
+    #[test]
+    fn naive_reduce_col_axis() {
+        let (mut hc, m) = setup(9, 11);
+        let naive = naive_reduce(&mut hc, &m, Axis::Col, Sum);
+        let mut hc_o = Hypercube::new(4, CostModel::cm2());
+        let opt = primitives::reduce(&mut hc_o, &m, Axis::Col, Sum);
+        for (a, b) in naive.to_dense().iter().zip(opt.to_dense()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn naive_distribute_matches_optimized() {
+        let (mut hc, m) = setup(8, 8);
+        let v = primitives::extract(&mut hc, &m, Axis::Row, 3);
+        let mut hc_n = Hypercube::new(4, CostModel::cm2());
+        let naive = naive_distribute(&mut hc_n, &v, 6, Dist::Cyclic);
+        let mut hc_o = Hypercube::new(4, CostModel::cm2());
+        let opt = primitives::distribute(&mut hc_o, &v, 6, Dist::Cyclic);
+        naive.assert_consistent();
+        assert_eq!(naive.to_dense(), opt.to_dense());
+        assert!(hc_n.elapsed_us() > hc_o.elapsed_us());
+    }
+
+    #[test]
+    fn naive_extract_replicated_matches_optimized() {
+        let (mut hc_n, m) = setup(10, 10);
+        let naive = naive_extract_replicated(&mut hc_n, &m, Axis::Row, 7);
+        let mut hc_o = Hypercube::new(4, CostModel::cm2());
+        let opt = primitives::extract_replicated(&mut hc_o, &m, Axis::Row, 7);
+        naive.assert_consistent();
+        assert_eq!(naive.layout(), opt.layout());
+        assert_eq!(naive.to_dense(), opt.to_dense());
+    }
+
+    #[test]
+    fn naive_insert_matches_optimized() {
+        let (mut hc, m) = setup(8, 8);
+        let v = primitives::extract_replicated(&mut hc, &m, Axis::Row, 1);
+        let mut m_n = m.clone();
+        let mut m_o = m.clone();
+        let mut hc_n = Hypercube::new(4, CostModel::cm2());
+        naive_insert(&mut hc_n, &mut m_n, Axis::Row, 6, &v);
+        let mut hc_o = Hypercube::new(4, CostModel::cm2());
+        primitives::insert(&mut hc_o, &mut m_o, Axis::Row, 6, &v);
+        assert_eq!(m_n.to_dense(), m_o.to_dense());
+    }
+
+    #[test]
+    fn the_gap_grows_with_problem_size() {
+        // The headline: with more elements per processor, the per-element
+        // router overhead piles up while blocked messages amortise.
+        let ratio = |n: usize| {
+            let layout = MatrixLayout::new(
+                MatShape::new(n, n),
+                ProcGrid::new(Cube::new(4), 2),
+                Dist::Cyclic,
+                Dist::Cyclic,
+            );
+            let m = DistMatrix::from_fn(layout, |i, j| (i + j) as f64);
+            let mut hc_n = Hypercube::new(4, CostModel::cm2());
+            let _ = naive_reduce(&mut hc_n, &m, Axis::Row, Sum);
+            let mut hc_o = Hypercube::new(4, CostModel::cm2());
+            let _ = primitives::reduce(&mut hc_o, &m, Axis::Row, Sum);
+            hc_n.elapsed_us() / hc_o.elapsed_us()
+        };
+        let small = ratio(8);
+        let large = ratio(64);
+        assert!(large > small, "gap should grow: small {small:.1}x, large {large:.1}x");
+        assert!(large > 3.0, "large problems should show a clear gap, got {large:.1}x");
+    }
+}

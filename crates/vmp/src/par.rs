@@ -1,0 +1,69 @@
+//! Host-side parallel execution of per-node local phases.
+//!
+//! Each simulated processor's local phase is independent of every
+//! other's — the definition of the SPMD local step — so the host can run
+//! them with rayon. This has no effect on results (bit-identical: the
+//! per-node computation is unchanged, only which host thread runs it)
+//! nor on the simulated clock; it makes the *wall-clock* benches reflect
+//! real parallel execution of the local work.
+
+use rayon::prelude::*;
+
+/// Run `f(node, buffer)` for every node, in parallel when the estimated
+/// machine-wide work is large enough to amortise the fork/join.
+pub(crate) fn for_each_node<T: Send>(
+    bufs: &mut [Vec<T>],
+    work_hint: usize,
+    f: impl Fn(usize, &mut Vec<T>) + Sync,
+) {
+    const PAR_THRESHOLD: usize = 1 << 15;
+    if work_hint >= PAR_THRESHOLD && bufs.len() > 1 {
+        bufs.par_iter_mut().enumerate().for_each(|(node, buf)| f(node, buf));
+    } else {
+        for (node, buf) in bufs.iter_mut().enumerate() {
+            f(node, buf);
+        }
+    }
+}
+
+/// Produce one output buffer per node, in parallel for large work.
+pub(crate) fn map_nodes<T, U: Send>(
+    count: usize,
+    work_hint: usize,
+    f: impl Fn(usize) -> Vec<U> + Sync + Send,
+) -> Vec<Vec<U>> {
+    const PAR_THRESHOLD: usize = 1 << 15;
+    let _ = std::marker::PhantomData::<T>;
+    if work_hint >= PAR_THRESHOLD && count > 1 {
+        (0..count).into_par_iter().map(f).collect()
+    } else {
+        (0..count).map(f).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_paths_agree() {
+        let mut small: Vec<Vec<u64>> = (0..8).map(|n| vec![n as u64; 4]).collect();
+        let mut large: Vec<Vec<u64>> = (0..8).map(|n| vec![n as u64; 4]).collect();
+        let f = |node: usize, buf: &mut Vec<u64>| {
+            for v in buf.iter_mut() {
+                *v = v.wrapping_mul(7).wrapping_add(node as u64);
+            }
+        };
+        for_each_node(&mut small, 1, f); // serial path
+        for_each_node(&mut large, 1 << 20, f); // parallel path
+        assert_eq!(small, large);
+    }
+
+    #[test]
+    fn map_nodes_produces_per_node_buffers() {
+        let out = map_nodes::<(), usize>(5, 1 << 20, |n| vec![n; n]);
+        for (n, buf) in out.iter().enumerate() {
+            assert_eq!(buf, &vec![n; n]);
+        }
+    }
+}

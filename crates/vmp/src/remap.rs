@@ -1,0 +1,443 @@
+//! Embedding changes — *"the primitives may indicate a change from one
+//! embedding to another"*.
+//!
+//! `extract` returns a vector concentrated on the grid line where the row
+//! physically lives; `distribute` and the elementwise combinators want it
+//! replicated; a vector leaving the matrix world wants the balanced
+//! linear embedding; a transposed algorithm wants the whole matrix
+//! re-embedded. This module implements those moves, each charged with
+//! its true communication structure:
+//!
+//! * [`replicate`] — concentrated → replicated: a `d`-step tree broadcast;
+//! * [`concentrate`] — replicated → concentrated: free (drop copies), or
+//!   a blocked routed move between two grid lines;
+//! * [`remap_vector`] — the general vector embedding change (any aligned
+//!   or linear source to any aligned or linear target, including axis
+//!   flips), via blocked dimension-ordered routing to the target's
+//!   primary holders plus a final broadcast if the target is replicated;
+//! * [`transpose`] / [`redistribute`] — whole-matrix re-embeddings.
+
+use vmp_hypercube::collective;
+use vmp_hypercube::machine::Hypercube;
+use vmp_hypercube::route::{route_blocks, Block};
+use vmp_layout::{Axis, MatrixLayout, Placement, VecEmbedding, VectorLayout};
+
+use crate::elem::Scalar;
+use crate::matrix::DistMatrix;
+use crate::vector::DistVector;
+
+/// Is `node` the primary (first) holder of its chunk under `layout`?
+fn is_primary_holder(layout: &VectorLayout, node: usize) -> bool {
+    if layout.local_len(node) == 0 {
+        return false;
+    }
+    let part = layout.part_of(node);
+    let i0 = layout.dist().global_index(part, 0);
+    layout.primary_holder(i0) == node
+}
+
+/// Replicate an axis-aligned vector across its orthogonal grid dims.
+/// Already-replicated vectors are returned unchanged (no charge).
+///
+/// # Panics
+/// Panics on linear vectors.
+pub fn replicate<T: Scalar>(hc: &mut Hypercube, v: &DistVector<T>) -> DistVector<T> {
+    let (axis, placement) = match v.layout().embedding() {
+        VecEmbedding::Aligned { axis, placement } => (*axis, *placement),
+        VecEmbedding::Linear => panic!("replicate applies to axis-aligned vectors only"),
+    };
+    match placement {
+        Placement::Replicated => v.clone(),
+        Placement::Concentrated(line) => {
+            let grid = v.layout().grid().clone();
+            let (dims, root) = match axis {
+                Axis::Row => (grid.row_dims().to_vec(), grid.row_coord(line)),
+                Axis::Col => (grid.col_dims().to_vec(), grid.col_coord(line)),
+            };
+            let mut chunks = v.locals().to_vec();
+            collective::broadcast(hc, &mut chunks, &dims, root);
+            DistVector::from_parts(v.layout().with_placement(Placement::Replicated), chunks)
+        }
+    }
+}
+
+/// Concentrate an axis-aligned vector onto grid line `line`. From a
+/// replicated embedding this is free — the copies are simply dropped.
+/// From another concentrated line it is one blocked routed move.
+///
+/// # Panics
+/// Panics on linear vectors.
+pub fn concentrate<T: Scalar>(hc: &mut Hypercube, v: &DistVector<T>, line: usize) -> DistVector<T> {
+    let (axis, placement) = match v.layout().embedding() {
+        VecEmbedding::Aligned { axis, placement } => (*axis, *placement),
+        VecEmbedding::Linear => panic!("concentrate applies to axis-aligned vectors only"),
+    };
+    let new_layout = v.layout().with_placement(Placement::Concentrated(line));
+    match placement {
+        Placement::Concentrated(src) if src == line => v.clone(),
+        Placement::Replicated => {
+            // Free: keep only the target line's copies.
+            let locals = (0..v.locals().len())
+                .map(|node| if new_layout.holds(node) { v.locals()[node].clone() } else { Vec::new() })
+                .collect();
+            DistVector::from_parts(new_layout, locals)
+        }
+        Placement::Concentrated(src_line) => {
+            let grid = v.layout().grid().clone();
+            let parts = match axis {
+                Axis::Row => grid.pc(),
+                Axis::Col => grid.pr(),
+            };
+            let mut outgoing: Vec<Vec<Block<T>>> = vec![Vec::new(); grid.p()];
+            for part in 0..parts {
+                let (src, dst) = match axis {
+                    Axis::Row => (grid.node_at(src_line, part), grid.node_at(line, part)),
+                    Axis::Col => (grid.node_at(part, src_line), grid.node_at(part, line)),
+                };
+                outgoing[src].push(Block::new(dst, part as u64, v.locals()[src].clone()));
+            }
+            let arrived = route_blocks(hc, outgoing);
+            let locals = arrived
+                .into_iter()
+                .map(|mut blocks| if blocks.is_empty() { Vec::new() } else { blocks.swap_remove(0).data })
+                .collect();
+            DistVector::from_parts(new_layout, locals)
+        }
+    }
+}
+
+/// Change a vector's embedding to `new_layout` (same grid, same length;
+/// anything else about the embedding — axis, placement, chunking rule,
+/// linear vs aligned — may differ).
+///
+/// Elements are routed in blocks from the old embedding's primary holders
+/// to the new embedding's primary holders (dimension-ordered, so at most
+/// `d` blocked supersteps), then broadcast across the orthogonal dims if
+/// the target is replicated. Delivery order is reconstructed on the
+/// receiving side from the layouts — no per-element indices travel.
+pub fn remap_vector<T: Scalar>(
+    hc: &mut Hypercube,
+    v: &DistVector<T>,
+    new_layout: VectorLayout,
+) -> DistVector<T> {
+    let old = v.layout();
+    assert_eq!(old.n(), new_layout.n(), "length mismatch");
+    assert_eq!(old.grid().cube(), new_layout.grid().cube(), "grid cube mismatch");
+    let p = old.grid().p();
+
+    // Pack: every old-primary node buckets its chunk by new-primary
+    // destination, in ascending global index order (= slot order).
+    let mut outgoing: Vec<Vec<Block<T>>> = vec![Vec::new(); p];
+    let mut max_packed = 0usize;
+    for src in 0..p {
+        if !is_primary_holder(old, src) {
+            continue;
+        }
+        let part = old.part_of(src);
+        let chunk = &v.locals()[src];
+        max_packed = max_packed.max(chunk.len());
+        // dst -> data, filled in ascending slot order.
+        let mut buckets: Vec<(usize, Vec<T>)> = Vec::new();
+        for (slot, &x) in chunk.iter().enumerate() {
+            let i = old.dist().global_index(part, slot);
+            let dst = new_layout.primary_holder(i);
+            match buckets.iter_mut().find(|(d, _)| *d == dst) {
+                Some((_, data)) => data.push(x),
+                None => buckets.push((dst, vec![x])),
+            }
+        }
+        for (dst, data) in buckets {
+            outgoing[src].push(Block::new(dst, src as u64, data));
+        }
+    }
+    hc.charge_moves(max_packed);
+
+    let arrived = route_blocks(hc, outgoing);
+
+    // Unpack: each new-primary node walks its new chunk in slot order,
+    // recomputes each element's old primary holder, and pulls the next
+    // element from that source's block.
+    let mut locals: Vec<Vec<T>> = vec![Vec::new(); p];
+    let mut max_unpacked = 0usize;
+    for dst in 0..p {
+        if !is_primary_holder(&new_layout, dst) {
+            continue;
+        }
+        let part = new_layout.part_of(dst);
+        let len = new_layout.dist().count(part);
+        max_unpacked = max_unpacked.max(len);
+        let mut cursors: Vec<(u64, usize)> = arrived[dst].iter().map(|b| (b.tag, 0usize)).collect();
+        let mut chunk = Vec::with_capacity(len);
+        for slot in 0..len {
+            let i = new_layout.dist().global_index(part, slot);
+            let src = old.primary_holder(i) as u64;
+            let bi = arrived[dst]
+                .iter()
+                .position(|b| b.tag == src)
+                .expect("block from the predicted source");
+            let cursor = &mut cursors[bi].1;
+            chunk.push(arrived[dst][bi].data[*cursor]);
+            *cursor += 1;
+        }
+        locals[dst] = chunk;
+    }
+    hc.charge_moves(max_unpacked);
+
+    // Replicated target: broadcast from the primary line.
+    if let VecEmbedding::Aligned { axis, placement: Placement::Replicated } = new_layout.embedding() {
+        let grid = new_layout.grid().clone();
+        let dims = match axis {
+            Axis::Row => grid.row_dims().to_vec(),
+            Axis::Col => grid.col_dims().to_vec(),
+        };
+        // Primary holders sit on grid line 0, whose subcube coordinate is
+        // encoding(0) == 0 for both encodings.
+        collective::broadcast(hc, &mut locals, &dims, 0);
+    }
+
+    DistVector::from_parts(new_layout, locals)
+}
+
+/// Transpose a matrix: the result has the transposed shape on the
+/// transposed grid (grid rows and columns swap roles), with
+/// `out[i][j] = m[j][i]`. One blocked routed phase (at most `d`
+/// supersteps) regardless of matrix size — the dimension-permutation view
+/// of transposition from Johnsson & Ho's transposition report.
+pub fn transpose<T: Scalar>(hc: &mut Hypercube, m: &DistMatrix<T>) -> DistMatrix<T> {
+    let new_layout = m.layout().transposed();
+    remap_matrix(hc, m, new_layout, |i, j| (j, i), |i, j| (j, i))
+}
+
+/// Re-embed a matrix into `new_layout` (same shape, same cube; the grid
+/// split and the distribution rules may differ). Contents are preserved:
+/// `out[i][j] = m[i][j]`.
+pub fn redistribute<T: Scalar>(
+    hc: &mut Hypercube,
+    m: &DistMatrix<T>,
+    new_layout: MatrixLayout,
+) -> DistMatrix<T> {
+    assert_eq!(m.shape(), new_layout.shape(), "shape mismatch");
+    remap_matrix(hc, m, new_layout, |i, j| (i, j), |i, j| (i, j))
+}
+
+/// General bijective matrix re-embedding: `out[fwd(i, j)] = m[i][j]`
+/// under `new_layout`. `fwd` must be a bijection on index pairs with
+/// inverse `inv` — transpose, redistribution, and torus shifts
+/// ([`crate::shift`]) are all instances. One blocked routed phase.
+pub fn remap_with<T: Scalar>(
+    hc: &mut Hypercube,
+    m: &DistMatrix<T>,
+    new_layout: MatrixLayout,
+    fwd: impl Fn(usize, usize) -> (usize, usize),
+    inv: impl Fn(usize, usize) -> (usize, usize),
+) -> DistMatrix<T> {
+    remap_matrix(hc, m, new_layout, fwd, inv)
+}
+
+/// Shared machinery for matrix re-embeddings. `fwd` maps an old element's
+/// global position to its new position; `inv` is its inverse.
+fn remap_matrix<T: Scalar>(
+    hc: &mut Hypercube,
+    m: &DistMatrix<T>,
+    new_layout: MatrixLayout,
+    fwd: impl Fn(usize, usize) -> (usize, usize),
+    inv: impl Fn(usize, usize) -> (usize, usize),
+) -> DistMatrix<T> {
+    let old = m.layout();
+    assert_eq!(old.grid().cube(), new_layout.grid().cube(), "grid cube mismatch");
+    let p = old.grid().p();
+
+    // Pack: bucket local elements by destination node, ordered by the
+    // destination's local offset so the receiver can unpack positionally.
+    let mut outgoing: Vec<Vec<Block<T>>> = vec![Vec::new(); p];
+    let mut max_packed = 0usize;
+    for src in 0..p {
+        let buf = &m.locals()[src];
+        if buf.is_empty() {
+            continue;
+        }
+        max_packed = max_packed.max(buf.len());
+        let mut staged: Vec<(usize, usize, T)> = Vec::with_capacity(buf.len()); // (dst, new_off, value)
+        for (i, j, off) in old.local_elements(src) {
+            let (ni, nj) = fwd(i, j);
+            let dst = new_layout.owner(ni, nj);
+            staged.push((dst, new_layout.local_offset(ni, nj), buf[off]));
+        }
+        staged.sort_unstable_by_key(|&(dst, noff, _)| (dst, noff));
+        let mut iter = staged.into_iter().peekable();
+        while let Some(&(dst, _, _)) = iter.peek() {
+            let mut data = Vec::new();
+            while matches!(iter.peek(), Some(&(d, _, _)) if d == dst) {
+                data.push(iter.next().expect("peeked").2);
+            }
+            outgoing[src].push(Block::new(dst, src as u64, data));
+        }
+    }
+    hc.charge_moves(max_packed);
+
+    let arrived = route_blocks(hc, outgoing);
+
+    // Unpack: walk new local offsets in order; each element's source node
+    // is recomputed via `inv`, and elements from one source arrive in
+    // new-offset order.
+    let mut locals: Vec<Vec<T>> = Vec::with_capacity(p);
+    let mut max_unpacked = 0usize;
+    for dst in 0..p {
+        let len = new_layout.local_len(dst);
+        max_unpacked = max_unpacked.max(len);
+        let mut cursors = vec![0usize; arrived[dst].len()];
+        let mut buf = Vec::with_capacity(len);
+        for (ni, nj, _off) in new_layout.local_elements(dst) {
+            let (i, j) = inv(ni, nj);
+            let src = old.owner(i, j) as u64;
+            let bi = arrived[dst]
+                .iter()
+                .position(|b| b.tag == src)
+                .expect("block from the predicted source");
+            buf.push(arrived[dst][bi].data[cursors[bi]]);
+            cursors[bi] += 1;
+        }
+        locals.push(buf);
+    }
+    hc.charge_moves(max_unpacked);
+
+    DistMatrix::from_parts(new_layout, locals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmp_hypercube::cost::CostModel;
+    use vmp_hypercube::topology::Cube;
+    use vmp_layout::{Dist, MatShape, ProcGrid};
+
+    fn machine(dim: u32) -> Hypercube {
+        Hypercube::new(dim, CostModel::unit())
+    }
+
+    fn grid(dim: u32, dr: u32) -> ProcGrid {
+        ProcGrid::new(Cube::new(dim), dr)
+    }
+
+    #[test]
+    fn replicate_then_concentrate_roundtrips() {
+        let mut hc = machine(4);
+        let vl = VectorLayout::aligned(9, grid(4, 2), Axis::Row, Placement::Concentrated(1), Dist::Cyclic);
+        let v = DistVector::from_fn(vl, |i| i as f64 * 2.0);
+        let r = replicate(&mut hc, &v);
+        r.assert_consistent();
+        assert_eq!(r.layout().stored_elements(), 9 * 4);
+        assert_eq!(r.to_dense(), v.to_dense());
+        let c = concentrate(&mut hc, &r, 1);
+        c.assert_consistent();
+        assert_eq!(c.to_dense(), v.to_dense());
+        assert_eq!(c.layout(), v.layout());
+    }
+
+    #[test]
+    fn concentrate_between_lines_routes() {
+        let mut hc = machine(4);
+        let vl = VectorLayout::aligned(8, grid(4, 2), Axis::Col, Placement::Concentrated(0), Dist::Block);
+        let v = DistVector::from_fn(vl, |i| i as i64);
+        let moved = concentrate(&mut hc, &v, 3);
+        moved.assert_consistent();
+        assert_eq!(moved.to_dense(), v.to_dense());
+        assert!(hc.counters().message_steps >= 1);
+    }
+
+    #[test]
+    fn remap_aligned_to_linear_and_back() {
+        let mut hc = machine(4);
+        let g = grid(4, 2);
+        let vl = VectorLayout::aligned(13, g.clone(), Axis::Row, Placement::Replicated, Dist::Cyclic);
+        let v = DistVector::from_fn(vl, |i| (i * i) as f64);
+        let lin = remap_vector(&mut hc, &v, VectorLayout::linear(13, g.clone(), Dist::Block));
+        lin.assert_consistent();
+        assert_eq!(lin.to_dense(), v.to_dense());
+        let back = remap_vector(
+            &mut hc,
+            &lin,
+            VectorLayout::aligned(13, g, Axis::Row, Placement::Replicated, Dist::Cyclic),
+        );
+        back.assert_consistent();
+        assert_eq!(back.to_dense(), v.to_dense());
+    }
+
+    #[test]
+    fn remap_axis_flip() {
+        // Row-aligned -> Col-aligned: the embedding change a transposed
+        // algorithm asks for.
+        let mut hc = machine(4);
+        let g = grid(4, 2);
+        let vl = VectorLayout::aligned(10, g.clone(), Axis::Row, Placement::Concentrated(2), Dist::Block);
+        let v = DistVector::from_fn(vl, |i| i as f64 - 4.5);
+        let flipped = remap_vector(
+            &mut hc,
+            &v,
+            VectorLayout::aligned(10, g, Axis::Col, Placement::Replicated, Dist::Cyclic),
+        );
+        flipped.assert_consistent();
+        assert_eq!(flipped.to_dense(), v.to_dense());
+    }
+
+    #[test]
+    fn remap_identity_is_cheap() {
+        let mut hc = machine(4);
+        let g = grid(4, 2);
+        let vl = VectorLayout::linear(16, g, Dist::Block);
+        let v = DistVector::from_fn(vl.clone(), |i| i as i64);
+        let w = remap_vector(&mut hc, &v, vl);
+        assert_eq!(w.to_dense(), v.to_dense());
+        assert_eq!(hc.counters().message_steps, 0, "nothing moves between nodes");
+    }
+
+    #[test]
+    fn transpose_transposes() {
+        let mut hc = machine(4);
+        let layout = MatrixLayout::new(MatShape::new(6, 10), grid(4, 2), Dist::Cyclic, Dist::Block);
+        let m = DistMatrix::from_fn(layout, |i, j| (i * 100 + j) as f64);
+        let t = transpose(&mut hc, &m);
+        t.assert_consistent();
+        assert_eq!(t.shape(), MatShape::new(10, 6));
+        for i in 0..10 {
+            for j in 0..6 {
+                assert_eq!(t.get(i, j), (j * 100 + i) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let mut hc = machine(5);
+        let layout = MatrixLayout::new(MatShape::new(7, 9), grid(5, 2), Dist::Cyclic, Dist::Cyclic);
+        let m = DistMatrix::from_fn(layout, |i, j| (i as f64).sin() + (j as f64).cos());
+        let t = transpose(&mut hc, &m);
+        let tt = transpose(&mut hc, &t);
+        assert_eq!(tt.shape(), m.shape());
+        assert_eq!(tt.to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn redistribute_changes_dist_rule() {
+        let mut hc = machine(4);
+        let g = grid(4, 2);
+        let block = MatrixLayout::new(MatShape::new(9, 9), g.clone(), Dist::Block, Dist::Block);
+        let cyclic = MatrixLayout::new(MatShape::new(9, 9), g, Dist::Cyclic, Dist::Cyclic);
+        let m = DistMatrix::from_fn(block, |i, j| (i * 9 + j) as i64);
+        let r = redistribute(&mut hc, &m, cyclic);
+        r.assert_consistent();
+        assert_eq!(r.to_dense(), m.to_dense());
+        assert!(hc.counters().message_steps >= 1);
+    }
+
+    #[test]
+    fn redistribute_changes_grid_shape() {
+        let mut hc = machine(4);
+        let wide = MatrixLayout::new(MatShape::new(8, 8), grid(4, 1), Dist::Cyclic, Dist::Cyclic);
+        let tall = MatrixLayout::new(MatShape::new(8, 8), grid(4, 3), Dist::Cyclic, Dist::Cyclic);
+        let m = DistMatrix::from_fn(wide, |i, j| (i * 8 + j) as f64);
+        let r = redistribute(&mut hc, &m, tall);
+        r.assert_consistent();
+        assert_eq!(r.to_dense(), m.to_dense());
+    }
+}

@@ -1,0 +1,319 @@
+//! The distributed vector.
+
+use vmp_hypercube::collective::allreduce;
+use vmp_hypercube::machine::Hypercube;
+use vmp_layout::{Axis, Placement, VecEmbedding, VectorLayout};
+
+use crate::elem::{ReduceOp, Scalar};
+
+/// A vector distributed over the simulated machine according to a
+/// [`VectorLayout`]. Replicated embeddings store every copy, and the
+/// copies are maintained bit-identical by every operation (checked by
+/// [`DistVector::assert_consistent`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistVector<T> {
+    layout: VectorLayout,
+    locals: Vec<Vec<T>>,
+}
+
+impl<T: Scalar> DistVector<T> {
+    /// Materialise a vector from `f(i)` (host-side; no machine charge).
+    #[must_use]
+    pub fn from_fn(layout: VectorLayout, mut f: impl FnMut(usize) -> T) -> Self {
+        let p = layout.grid().p();
+        let mut locals: Vec<Vec<T>> = Vec::with_capacity(p);
+        for node in 0..p {
+            let len = layout.local_len(node);
+            let mut buf = Vec::with_capacity(len);
+            if len > 0 {
+                let part = layout.part_of(node);
+                for slot in 0..len {
+                    buf.push(f(layout.dist().global_index(part, slot)));
+                }
+            }
+            locals.push(buf);
+        }
+        DistVector { layout, locals }
+    }
+
+    /// Materialise from a host slice.
+    #[must_use]
+    pub fn from_slice(layout: VectorLayout, data: &[T]) -> Self {
+        assert_eq!(data.len(), layout.n(), "vector length mismatch");
+        Self::from_fn(layout, |i| data[i])
+    }
+
+    /// A vector with every element `value`.
+    #[must_use]
+    pub fn constant(layout: VectorLayout, value: T) -> Self {
+        Self::from_fn(layout, |_| value)
+    }
+
+    /// The embedding.
+    #[must_use]
+    pub fn layout(&self) -> &VectorLayout {
+        &self.layout
+    }
+
+    /// Vector length.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.layout.n()
+    }
+
+    /// Host-side read of element `i` (tests / output only).
+    #[must_use]
+    pub fn get(&self, i: usize) -> T {
+        let node = self.layout.primary_holder(i);
+        self.locals[node][self.layout.dist().local_index(i)]
+    }
+
+    /// Host-side copy to a dense `Vec` (tests / output only).
+    #[must_use]
+    pub fn to_dense(&self) -> Vec<T> {
+        (0..self.n()).map(|i| self.get(i)).collect()
+    }
+
+    /// Per-node local chunks (crate-internal).
+    pub(crate) fn locals(&self) -> &[Vec<T>] {
+        &self.locals
+    }
+
+    /// Assemble from parts (crate-internal).
+    pub(crate) fn from_parts(layout: VectorLayout, locals: Vec<Vec<T>>) -> Self {
+        debug_assert_eq!(locals.len(), layout.grid().p());
+        DistVector { layout, locals }
+    }
+
+    /// Assemble from externally computed per-node chunks — the backend
+    /// escape hatch for algorithms (e.g. the hypercube FFT) that run
+    /// custom per-node kernels between primitive operations. Chunk
+    /// lengths are validated against the layout.
+    ///
+    /// # Panics
+    /// Panics if any node's chunk length disagrees with the layout.
+    #[must_use]
+    pub fn from_chunks(layout: VectorLayout, locals: Vec<Vec<T>>) -> Self {
+        assert_eq!(locals.len(), layout.grid().p(), "one chunk per node");
+        for (node, buf) in locals.iter().enumerate() {
+            assert_eq!(buf.len(), layout.local_len(node), "node {node} chunk length");
+        }
+        DistVector { layout, locals }
+    }
+
+    /// Read-only view of the per-node chunks (backend counterpart of
+    /// [`DistVector::from_chunks`]).
+    #[must_use]
+    pub fn chunks(&self) -> &[Vec<T>] {
+        &self.locals
+    }
+
+    /// Validate chunk lengths and (for replicated embeddings) that all
+    /// replicas agree.
+    pub fn assert_consistent(&self) {
+        assert_eq!(self.locals.len(), self.layout.grid().p());
+        for node in 0..self.locals.len() {
+            assert_eq!(
+                self.locals[node].len(),
+                self.layout.local_len(node),
+                "node {node} chunk length"
+            );
+        }
+        for i in 0..self.n() {
+            let holders = self.layout.holders_of(i);
+            let slot = self.layout.dist().local_index(i);
+            let first = self.locals[holders[0]][slot];
+            for &h in &holders[1..] {
+                assert_eq!(self.locals[h][slot], first, "replica divergence at element {i}");
+            }
+        }
+    }
+
+    /// Reduce the whole vector to one scalar with `op`, lifting each
+    /// element through `lift(global_index, value)` first. The result is
+    /// replicated machine-wide (this is a collective and is charged).
+    ///
+    /// The `lift` hook makes masked reductions free of special cases:
+    /// return `op.identity()` for indices outside the range of interest —
+    /// exactly how the Gaussian-elimination pivot search restricts itself
+    /// to rows `k..n`.
+    pub fn reduce_lifted<U: Scalar, O: ReduceOp<U>>(
+        &self,
+        hc: &mut Hypercube,
+        op: O,
+        lift: impl Fn(usize, T) -> U,
+    ) -> U {
+        let grid = self.layout.grid().clone();
+        // Local fold over the chunk.
+        let mut partials: Vec<Vec<U>> = Vec::with_capacity(self.locals.len());
+        let mut max_chunk = 0usize;
+        for node in 0..self.locals.len() {
+            let buf = &self.locals[node];
+            if buf.is_empty() {
+                partials.push(vec![op.identity()]);
+                continue;
+            }
+            max_chunk = max_chunk.max(buf.len());
+            let part = self.layout.part_of(node);
+            let mut acc = op.identity();
+            for (slot, &v) in buf.iter().enumerate() {
+                let i = self.layout.dist().global_index(part, slot);
+                acc = op.combine(acc, lift(i, v));
+            }
+            partials.push(vec![acc]);
+        }
+        hc.charge_flops(max_chunk);
+
+        // Combine partials machine-wide. Replicated embeddings hold each
+        // chunk `r` times; combining over ALL cube dims would fold each
+        // chunk `r` times, which is wrong for non-idempotent ops (sum).
+        // Instead: combine over the chunked direction, then broadcast-by-
+        // allreduce over the orthogonal direction using a "first wins"
+        // blend is unsound for identities... the clean way: zero out the
+        // non-primary replicas first, then allreduce everywhere.
+        match self.layout.embedding() {
+            VecEmbedding::Linear => {
+                let dims: Vec<u32> = grid.cube().iter_dims().collect();
+                allreduce(hc, &mut partials, &dims, |a, b| op.combine(a, b));
+            }
+            VecEmbedding::Aligned { axis, placement } => {
+                let primary_line = match placement {
+                    Placement::Replicated => None, // keep only grid line 0
+                    Placement::Concentrated(line) => Some(*line),
+                };
+                for node in 0..partials.len() {
+                    let (gr, gc) = grid.grid_coords(node);
+                    let ortho = match axis {
+                        Axis::Row => gr,
+                        Axis::Col => gc,
+                    };
+                    let keep = match primary_line {
+                        None => ortho == 0,
+                        Some(line) => ortho == line,
+                    };
+                    if !keep {
+                        partials[node][0] = op.identity();
+                    }
+                }
+                let dims: Vec<u32> = grid.cube().iter_dims().collect();
+                allreduce(hc, &mut partials, &dims, |a, b| op.combine(a, b));
+            }
+        }
+        partials[0][0]
+    }
+
+    /// Reduce to a scalar with `op` (replicated machine-wide; charged).
+    pub fn reduce_all<O: ReduceOp<T>>(&self, hc: &mut Hypercube, op: O) -> T {
+        self.reduce_lifted(hc, op, |_, v| v)
+    }
+}
+
+impl<T: crate::elem::Numeric> DistVector<T> {
+    /// Dot product with an identically laid-out vector: one elementwise
+    /// pass plus a reduce-to-scalar (replicated result).
+    pub fn dot(&self, hc: &mut Hypercube, other: &DistVector<T>) -> T {
+        self.zip(hc, other, |_, a, b| a * b).reduce_all(hc, crate::elem::Sum)
+    }
+
+    /// Squared 2-norm.
+    pub fn norm2_sq(&self, hc: &mut Hypercube) -> T {
+        self.dot(hc, &self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elem::{ArgMaxAbs, Loc, Max, Sum};
+    use vmp_hypercube::cost::CostModel;
+    use vmp_hypercube::topology::Cube;
+    use vmp_layout::{Dist, ProcGrid};
+
+    fn grid(dim: u32, dr: u32) -> ProcGrid {
+        ProcGrid::new(Cube::new(dim), dr)
+    }
+
+    fn machine(dim: u32) -> Hypercube {
+        Hypercube::new(dim, CostModel::unit())
+    }
+
+    #[test]
+    fn from_fn_get_roundtrip_all_embeddings() {
+        let g = grid(4, 2);
+        for layout in [
+            VectorLayout::aligned(11, g.clone(), Axis::Row, Placement::Replicated, Dist::Cyclic),
+            VectorLayout::aligned(11, g.clone(), Axis::Row, Placement::Concentrated(3), Dist::Block),
+            VectorLayout::aligned(11, g.clone(), Axis::Col, Placement::Replicated, Dist::Block),
+            VectorLayout::linear(11, g.clone(), Dist::Cyclic),
+        ] {
+            let v = DistVector::from_fn(layout, |i| i as i64 * 3 - 5);
+            v.assert_consistent();
+            for i in 0..11 {
+                assert_eq!(v.get(i), i as i64 * 3 - 5);
+            }
+            assert_eq!(v.to_dense(), (0..11).map(|i| i as i64 * 3 - 5).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn reduce_all_sums_each_element_once_despite_replication() {
+        let g = grid(4, 2);
+        let mut hc = machine(4);
+        let layout = VectorLayout::aligned(10, g, Axis::Row, Placement::Replicated, Dist::Block);
+        let v = DistVector::from_fn(layout, |i| (i + 1) as f64);
+        let s = v.reduce_all(&mut hc, Sum);
+        assert_eq!(s, 55.0, "each element counted exactly once");
+        assert!(hc.elapsed_us() > 0.0, "reduction is charged");
+    }
+
+    #[test]
+    fn reduce_all_concentrated_and_linear() {
+        let g = grid(3, 1);
+        let mut hc = machine(3);
+        let conc = VectorLayout::aligned(9, g.clone(), Axis::Col, Placement::Concentrated(2), Dist::Cyclic);
+        let v = DistVector::from_fn(conc, |i| i as f64);
+        assert_eq!(v.reduce_all(&mut hc, Sum), 36.0);
+        let lin = VectorLayout::linear(9, g, Dist::Block);
+        let w = DistVector::from_fn(lin, |i| i as f64);
+        assert_eq!(w.reduce_all(&mut hc, Max), 8.0);
+    }
+
+    #[test]
+    fn lifted_reduce_supports_masks_and_argmax() {
+        let g = grid(4, 2);
+        let mut hc = machine(4);
+        let layout = VectorLayout::aligned(12, g, Axis::Col, Placement::Replicated, Dist::Cyclic);
+        let data = [3.0, -9.0, 4.0, 8.5, -2.0, 0.0, -8.5, 7.0, 1.0, -1.0, 5.0, 2.0];
+        let v = DistVector::from_slice(layout, &data);
+        // Unmasked arg-max-abs: index 1 (|-9|).
+        let top = v.reduce_lifted(&mut hc, ArgMaxAbs, |i, x| Loc::new(x, i));
+        assert_eq!(top.index, 1);
+        // Masked to i >= 4 (the pivot-search pattern): |-8.5| at 6 wins
+        // over 8.5 at 3 which is masked out; tie at |8.5|? index 6 only.
+        let masked = v.reduce_lifted(&mut hc, ArgMaxAbs, |i, x| {
+            if i >= 4 {
+                Loc::new(x, i)
+            } else {
+                Loc::new(0.0, usize::MAX)
+            }
+        });
+        assert_eq!(masked.index, 6);
+    }
+
+    #[test]
+    fn empty_vector_reduces_to_identity() {
+        let g = grid(2, 1);
+        let mut hc = machine(2);
+        let layout = VectorLayout::linear(0, g, Dist::Block);
+        let v: DistVector<f64> = DistVector::from_fn(layout, |_| unreachable!());
+        assert_eq!(v.reduce_all(&mut hc, Sum), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_slice_checks_length() {
+        let g = grid(2, 1);
+        let layout = VectorLayout::linear(5, g, Dist::Block);
+        let _ = DistVector::from_slice(layout, &[1.0f64; 4]);
+    }
+}

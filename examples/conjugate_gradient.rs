@@ -1,0 +1,46 @@
+//! Conjugate gradient on the primitives: an iterative solver composed
+//! from `matvec` (elementwise + reduce), dot products (zip + reduce) and
+//! one embedding change per iteration.
+//!
+//! ```text
+//! cargo run --release --example conjugate_gradient [n] [cube_dim]
+//! ```
+
+use four_vmp::algos::cg::{cg_solve, cg_solve_serial, CgOptions};
+use four_vmp::algos::workloads;
+use four_vmp::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(64);
+    let dim: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+
+    let (a, b, x_true) = workloads::spd_system(n, 11);
+    println!("SPD system: {n}x{n} (A = M'M + nI), machine: p = {}", 1usize << dim);
+
+    let hc = &mut Hypercube::cm2(dim);
+    let grid = ProcGrid::square(hc.cube());
+    let am = DistMatrix::from_fn(MatrixLayout::cyclic(MatShape::new(n, n), grid), |i, j| a.get(i, j));
+
+    let out = cg_solve(hc, &am, &b, CgOptions::default());
+    let err = out.x.iter().zip(&x_true).map(|(u, v)| (u - v).abs()).fold(0.0, f64::max);
+    println!(
+        "parallel CG: {} iterations, residual {:.2e}, max error vs truth {err:.2e}",
+        out.iterations, out.residual_norm
+    );
+    println!(
+        "simulated time {:.2} ms  ({} message supersteps, {} flops)",
+        hc.elapsed_us() / 1e3,
+        hc.counters().message_steps,
+        hc.counters().flops
+    );
+
+    let serial = cg_solve_serial(&a, &b, CgOptions::default());
+    println!("serial CG:   {} iterations, residual {:.2e}", serial.iterations, serial.residual_norm);
+
+    // Per-iteration anatomy: one matvec, one axis-flip remap, two dots,
+    // three vector updates.
+    println!("\neach iteration = 1 matvec + 1 embedding change (axis flip) + 2 dot products + 3 AXPYs");
+    println!("the embedding change is priced like any other data movement — the");
+    println!("matvec output is column-aligned, the iteration vectors row-aligned.");
+}

@@ -1,0 +1,58 @@
+//! # four-vmp — *Four Vector-Matrix Primitives* in Rust
+//!
+//! A full reproduction of Agrawal, Blelloch, Krawitz & Phillips, *Four
+//! Vector-Matrix Primitives* (SPAA 1989): four APL-like primitives —
+//! `reduce`, `distribute`, `extract`, `insert` — for dense matrices and
+//! vectors, specified independently of machine size and implemented over
+//! load-balanced embeddings on a (simulated) Connection-Machine-style
+//! hypercube multiprocessor, plus the paper's three applications
+//! (vector-matrix multiply, Gaussian elimination, simplex) and the
+//! "naive" general-router baseline they beat.
+//!
+//! This crate is the facade: it re-exports the workspace members.
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`hypercube`] | the machine: topology, cost model, collectives, routers |
+//! | [`layout`] | load-balanced matrix/vector embeddings on processor grids |
+//! | [`core`] | the four primitives, elementwise combinators, embedding changes, naive baseline, cost analysis |
+//! | [`algos`] | matvec / Gaussian elimination / simplex, serial oracles, workload generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use four_vmp::prelude::*;
+//!
+//! // A 64-processor simulated machine and an 8x8 matrix on it.
+//! let hc = &mut Hypercube::cm2(6);
+//! let grid = ProcGrid::square(hc.cube());
+//! let a = DistMatrix::from_fn(
+//!     MatrixLayout::cyclic(MatShape::new(8, 8), grid),
+//!     |i, j| (i * 8 + j) as f64,
+//! );
+//!
+//! // The four primitives.
+//! let col_sums = reduce(hc, &a, Axis::Row, Sum);       // all rows -> one row
+//! let spread   = distribute(hc, &col_sums, 8, Dist::Cyclic);
+//! let row3     = extract(hc, &a, Axis::Row, 3);
+//! let row3_rep = replicate(hc, &row3);
+//! let mut b = spread.clone();
+//! insert(hc, &mut b, Axis::Row, 0, &row3_rep);
+//!
+//! assert_eq!(col_sums.get(2), (0..8).map(|i| (i * 8 + 2) as f64).sum());
+//! assert_eq!(b.get(0, 5), a.get(3, 5));
+//! println!("simulated CM time: {:.1} us", hc.elapsed_us());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use vmp_algos as algos;
+pub use vmp_core as core;
+pub use vmp_hypercube as hypercube;
+pub use vmp_layout as layout;
+
+/// Everything an application needs, in one import.
+pub mod prelude {
+    pub use vmp_algos::{ge_solve, matvec, solve_parallel, vecmat};
+    pub use vmp_core::prelude::*;
+}

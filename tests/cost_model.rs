@@ -1,0 +1,154 @@
+//! Cost-model invariants across the stack: simulated time must be
+//! monotone in problem size, never cheaper than its lower bound, and the
+//! naive baseline must never win.
+
+use four_vmp::algos::workloads;
+use four_vmp::core::analysis;
+use four_vmp::core::elem::Sum;
+use four_vmp::core::{naive, primitives};
+use four_vmp::hypercube::Cube;
+use four_vmp::prelude::*;
+use proptest::prelude::*;
+
+fn matrix(n: usize, dim: u32) -> DistMatrix<f64> {
+    let grid = ProcGrid::square(Cube::new(dim));
+    DistMatrix::from_fn(MatrixLayout::cyclic(MatShape::new(n, n), grid), |i, j| (i + j) as f64)
+}
+
+fn reduce_time(n: usize, dim: u32) -> f64 {
+    let m = matrix(n, dim);
+    let mut hc = Hypercube::cm2(dim);
+    let _ = primitives::reduce(&mut hc, &m, Axis::Row, Sum);
+    hc.elapsed_us()
+}
+
+#[test]
+fn time_is_monotone_in_matrix_size() {
+    let mut last = 0.0;
+    for n in [8usize, 16, 32, 64, 128, 256] {
+        let t = reduce_time(n, 6);
+        assert!(t >= last, "n = {n}: {t} < {last}");
+        last = t;
+    }
+}
+
+#[test]
+fn local_term_shrinks_with_machine_size() {
+    // At large m/p, doubling p should cut reduce time substantially.
+    let t4 = reduce_time(256, 4);
+    let t8 = reduce_time(256, 8);
+    assert!(t8 < t4 / 2.0, "p x16 should cut the local term: {t4} -> {t8}");
+}
+
+#[test]
+fn simulated_time_respects_the_lower_bound() {
+    let cost = CostModel::cm2();
+    for dim in [0u32, 2, 4, 6, 8] {
+        for n in [16usize, 64, 256] {
+            let t = reduce_time(n, dim);
+            let grid = ProcGrid::square(Cube::new(dim));
+            let lb = analysis::lower_bound_dims(n * n, 1 << dim, grid.dr(), &cost);
+            assert!(
+                t >= lb * 0.999,
+                "dim {dim} n {n}: simulated {t} below bound {lb}"
+            );
+        }
+    }
+}
+
+#[test]
+fn naive_never_beats_primitives() {
+    for dim in [2u32, 4, 6] {
+        for n in [16usize, 64, 128] {
+            let m = matrix(n, dim);
+            let mut hn = Hypercube::cm2(dim);
+            let _ = naive::naive_reduce(&mut hn, &m, Axis::Row, Sum);
+            let mut ho = Hypercube::cm2(dim);
+            let _ = primitives::reduce(&mut ho, &m, Axis::Row, Sum);
+            assert!(
+                hn.elapsed_us() >= ho.elapsed_us(),
+                "dim {dim} n {n}: naive {} < primitives {}",
+                hn.elapsed_us(),
+                ho.elapsed_us()
+            );
+        }
+    }
+}
+
+#[test]
+fn the_naive_gap_grows_with_vp_ratio() {
+    let ratio = |n: usize| {
+        let m = matrix(n, 6);
+        let mut hn = Hypercube::cm2(6);
+        let _ = naive::naive_reduce(&mut hn, &m, Axis::Row, Sum);
+        let mut ho = Hypercube::cm2(6);
+        let _ = primitives::reduce(&mut ho, &m, Axis::Row, Sum);
+        hn.elapsed_us() / ho.elapsed_us()
+    };
+    assert!(ratio(256) > ratio(16), "blocking amortises better at higher m/p");
+}
+
+#[test]
+fn ge_cost_grows_cubically_in_the_serial_model_but_flatter_in_parallel() {
+    let time = |n: usize| {
+        let (a, b, _) = workloads::diag_dominant_system(n, 1);
+        let mut hc = Hypercube::cm2(8);
+        let grid = ProcGrid::square(Cube::new(8));
+        four_vmp::algos::ge_solve(&mut hc, &a, &b, grid).expect("dominant");
+        hc.elapsed_us()
+    };
+    let t64 = time(64);
+    let t128 = time(128);
+    // Serial doubling would cost 8x; the parallel version with fixed p
+    // and growing m/p should sit well under that at these sizes.
+    let growth = t128 / t64;
+    assert!(growth < 6.0, "parallel growth {growth:.2} should be sub-cubic here");
+    assert!(growth > 1.5, "but still supra-linear");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn widening_a_matrix_never_reduces_time(
+        n in 4usize..32,
+        extra in 1usize..32,
+        dim in 0u32..=6,
+    ) {
+        let grid = ProcGrid::square(Cube::new(dim));
+        let narrow = DistMatrix::from_fn(
+            MatrixLayout::cyclic(MatShape::new(n, n), grid.clone()), |i, j| (i + j) as f64);
+        let wide = DistMatrix::from_fn(
+            MatrixLayout::cyclic(MatShape::new(n, n + extra), grid), |i, j| (i + j) as f64);
+        let mut h1 = Hypercube::cm2(dim);
+        let _ = primitives::reduce(&mut h1, &narrow, Axis::Row, Sum);
+        let mut h2 = Hypercube::cm2(dim);
+        let _ = primitives::reduce(&mut h2, &wide, Axis::Row, Sum);
+        prop_assert!(h2.elapsed_us() >= h1.elapsed_us());
+    }
+
+    #[test]
+    fn every_primitive_charges_nonnegative_time(
+        n in 1usize..24,
+        dim in 0u32..=5,
+        idx in 0usize..64,
+    ) {
+        let grid = ProcGrid::square(Cube::new(dim));
+        let m = DistMatrix::from_fn(
+            MatrixLayout::cyclic(MatShape::new(n, n), grid), |i, j| (i * n + j) as f64);
+        let mut hc = Hypercube::cm2(dim);
+        let t0 = hc.elapsed_us();
+        let v = primitives::reduce(&mut hc, &m, Axis::Row, Sum);
+        let t1 = hc.elapsed_us();
+        prop_assert!(t1 >= t0);
+        let _ = primitives::distribute(&mut hc, &v, n, Dist::Cyclic);
+        let t2 = hc.elapsed_us();
+        prop_assert!(t2 >= t1);
+        let r = primitives::extract_replicated(&mut hc, &m, Axis::Row, idx % n);
+        let t3 = hc.elapsed_us();
+        prop_assert!(t3 >= t2);
+        let mut m2 = m.clone();
+        primitives::insert(&mut hc, &mut m2, Axis::Row, (idx / 2) % n, &r);
+        prop_assert!(hc.elapsed_us() >= t3);
+    }
+}
