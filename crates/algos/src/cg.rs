@@ -56,23 +56,13 @@ fn dot<T: Numeric>(hc: &mut Hypercube, u: &DistVector<T>, v: &DistVector<T>) -> 
 ///
 /// `a` must be square; `b` is given host-side (loaded once). Returns the
 /// solution host-side, like [`crate::gauss::ge_solve`].
-pub fn cg_solve(
-    hc: &mut Hypercube,
-    a: &DistMatrix<f64>,
-    b: &[f64],
-    opts: CgOptions,
-) -> CgOutcome {
+pub fn cg_solve(hc: &mut Hypercube, a: &DistMatrix<f64>, b: &[f64], opts: CgOptions) -> CgOutcome {
     let n = a.shape().rows;
     assert_eq!(a.shape().cols, n, "CG requires a square (SPD) matrix");
     assert_eq!(b.len(), n, "rhs length");
     let grid = a.layout().grid().clone();
-    let row_layout = VectorLayout::aligned(
-        n,
-        grid,
-        Axis::Row,
-        Placement::Replicated,
-        a.layout().cols().kind(),
-    );
+    let row_layout =
+        VectorLayout::aligned(n, grid, Axis::Row, Placement::Replicated, a.layout().cols().kind());
 
     let bv = DistVector::from_slice(row_layout.clone(), b);
     let mut x = DistVector::constant(row_layout.clone(), 0.0f64);
@@ -81,7 +71,12 @@ pub fn cg_solve(
     let mut rs_old = dot(hc, &r, &r);
 
     if rs_old.sqrt() <= opts.tol {
-        return CgOutcome { x: x.to_dense(), iterations: 0, residual_norm: rs_old.sqrt(), converged: true };
+        return CgOutcome {
+            x: x.to_dense(),
+            iterations: 0,
+            residual_norm: rs_old.sqrt(),
+            converged: true,
+        };
     }
 
     for iter in 1..=opts.max_iterations {
@@ -138,7 +133,12 @@ pub fn cg_solve_serial(a: &Dense, b: &[f64], opts: CgOptions) -> CgOutcome {
         }
         let rs_new = sdot(&r, &r);
         if rs_new.sqrt() <= opts.tol {
-            return CgOutcome { x, iterations: iter, residual_norm: rs_new.sqrt(), converged: true };
+            return CgOutcome {
+                x,
+                iterations: iter,
+                residual_norm: rs_new.sqrt(),
+                converged: true,
+            };
         }
         let beta = rs_new / rs_old;
         for i in 0..n {
@@ -172,7 +172,11 @@ mod tests {
             let (mut hc, am) = dist(&a, dim);
             let out = cg_solve(&mut hc, &am, &b, CgOptions::default());
             assert!(out.converged, "n = {n}: residual {}", out.residual_norm);
-            assert!(out.iterations <= n + 2, "CG converges in <= n steps exactly, {} taken", out.iterations);
+            assert!(
+                out.iterations <= n + 2,
+                "CG converges in <= n steps exactly, {} taken",
+                out.iterations
+            );
             for (xs, xt) in out.x.iter().zip(&x_true) {
                 assert!((xs - xt).abs() < 1e-6, "n = {n}");
             }

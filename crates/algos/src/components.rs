@@ -25,10 +25,7 @@ const BORDER: i64 = -1;
 /// matrix of labels: every pixel of a component gets the smallest pixel
 /// index (`i * cols + j`) in that component. Also returns the number of
 /// sweeps.
-pub fn label_components(
-    hc: &mut Hypercube,
-    image: &DistMatrix<i64>,
-) -> (DistMatrix<i64>, usize) {
+pub fn label_components(hc: &mut Hypercube, image: &DistMatrix<i64>) -> (DistMatrix<i64>, usize) {
     let shape = image.shape();
     let cols = shape.cols;
     // labels[i][j] = pixel index, paired with the colour for the
@@ -59,11 +56,8 @@ pub fn label_components(
         let new_state = s3.zip(hc, &right, take);
 
         // Converged? One machine-wide OR-reduction of "changed" bits.
-        let changed = new_state
-            .zip(hc, &state, |a, b| i64::from(a.0 != b.0))
-            .map(hc, |_, _, c| c);
-        let any = vmp_core::primitives::reduce(hc, &changed, Axis::Row, Max)
-            .reduce_all(hc, Max);
+        let changed = new_state.zip(hc, &state, |a, b| i64::from(a.0 != b.0)).map(hc, |_, _, c| c);
+        let any = vmp_core::primitives::reduce(hc, &changed, Axis::Row, Max).reduce_all(hc, Max);
         state = new_state;
         if any == 0 {
             break;
@@ -89,12 +83,16 @@ pub fn label_components_serial(image: &[Vec<i64>]) -> Vec<Vec<i64>> {
             let mut queue = std::collections::VecDeque::from([(si, sj)]);
             labels[si][sj] = root;
             while let Some((i, j)) = queue.pop_front() {
-                let push = |ni: usize, nj: usize, labels: &mut Vec<Vec<i64>>, queue: &mut std::collections::VecDeque<(usize, usize)>| {
-                    if image[ni][nj] == colour && labels[ni][nj] < 0 {
-                        labels[ni][nj] = root;
-                        queue.push_back((ni, nj));
-                    }
-                };
+                let push =
+                    |ni: usize,
+                     nj: usize,
+                     labels: &mut Vec<Vec<i64>>,
+                     queue: &mut std::collections::VecDeque<(usize, usize)>| {
+                        if image[ni][nj] == colour && labels[ni][nj] < 0 {
+                            labels[ni][nj] = root;
+                            queue.push_back((ni, nj));
+                        }
+                    };
                 if i > 0 {
                     push(i - 1, j, &mut labels, &mut queue);
                 }
@@ -123,10 +121,10 @@ mod tests {
         let rows = image.len();
         let cols = image[0].len();
         let grid = ProcGrid::square(Cube::new(dim));
-        let m = DistMatrix::from_fn(
-            MatrixLayout::block(MatShape::new(rows, cols), grid),
-            |i, j| image[i][j],
-        );
+        let m =
+            DistMatrix::from_fn(MatrixLayout::block(MatShape::new(rows, cols), grid), |i, j| {
+                image[i][j]
+            });
         (Hypercube::new(dim, CostModel::cm2()), m)
     }
 
@@ -169,7 +167,9 @@ mod tests {
             // A spiral-ish pattern with long thin components.
             (
                 (0..12)
-                    .map(|i: usize| (0..12).map(|j: usize| i64::from((i / 3 + j / 4) % 2 == 0)).collect())
+                    .map(|i: usize| {
+                        (0..12).map(|j: usize| i64::from((i / 3 + j / 4) % 2 == 0)).collect()
+                    })
                     .collect::<Vec<Vec<i64>>>(),
                 4,
             ),

@@ -107,10 +107,7 @@ pub fn ifft(hc: &mut Hypercube, v: &DistVector<Cplx>) -> DistVector<Cplx> {
 
 fn fft_impl(hc: &mut Hypercube, v: &DistVector<Cplx>, inverse: bool) -> DistVector<Cplx> {
     let layout = v.layout().clone();
-    assert!(
-        matches!(layout.embedding(), VecEmbedding::Linear),
-        "FFT expects the linear embedding"
-    );
+    assert!(matches!(layout.embedding(), VecEmbedding::Linear), "FFT expects the linear embedding");
     assert_eq!(layout.dist().kind(), Dist::Block, "FFT expects block chunking");
     let n = layout.n();
     assert!(n.is_power_of_two(), "length must be a power of two");
@@ -180,12 +177,7 @@ fn fft_impl(hc: &mut Hypercube, v: &DistVector<Cplx>, inverse: bool) -> DistVect
 
     // Undo the bit-reversal with one blocked routed permutation.
     let scrambled = DistVector::from_chunks(layout.clone(), chunks);
-    let reversed = route_permutation(
-        hc,
-        &scrambled,
-        move |i| Some(bit_reverse(i, q)),
-        None,
-    );
+    let reversed = route_permutation(hc, &scrambled, move |i| Some(bit_reverse(i, q)), None);
 
     if inverse {
         reversed.map(hc, move |_, x| x.scale(1.0 / n as f64))
@@ -350,11 +342,7 @@ mod tests {
         let _ = fft(&mut hc, &v);
         // 4 exchanges (1 superstep each: partners are neighbours) plus
         // <= 4 supersteps of bit-reversal routing.
-        assert!(
-            hc.counters().message_steps <= 4 + 4,
-            "{} supersteps",
-            hc.counters().message_steps
-        );
+        assert!(hc.counters().message_steps <= 4 + 4, "{} supersteps", hc.counters().message_steps);
     }
 
     #[test]

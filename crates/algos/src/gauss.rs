@@ -72,50 +72,87 @@ pub fn build_augmented(a: &Dense, b: &[f64], grid: ProcGrid) -> DistMatrix<f64> 
 ///
 /// # Errors
 /// [`GeError::Singular`] if a pivot column is numerically zero.
-pub fn forward_eliminate(hc: &mut Hypercube, aug: &mut DistMatrix<f64>) -> Result<GeStats, GeError> {
+pub fn forward_eliminate(
+    hc: &mut Hypercube,
+    aug: &mut DistMatrix<f64>,
+) -> Result<GeStats, GeError> {
+    let mut stats = GeStats::default();
+    forward_eliminate_range(hc, aug, 0, aug.shape().rows, &mut stats)?;
+    Ok(stats)
+}
+
+/// Forward elimination restricted to columns `from..to` — the resumable
+/// core of [`forward_eliminate`]. Column `k`'s step depends only on the
+/// matrix contents, so eliminating `0..n` in one call or in several
+/// ranges (as [`crate::checkpoint`] does across a restart) produces
+/// bit-identical results.
+///
+/// # Errors
+/// [`GeError::Singular`] if a pivot column is numerically zero.
+pub fn forward_eliminate_range(
+    hc: &mut Hypercube,
+    aug: &mut DistMatrix<f64>,
+    from: usize,
+    to: usize,
+    stats: &mut GeStats,
+) -> Result<(), GeError> {
     let n = aug.shape().rows;
     let width = aug.shape().cols;
     assert!(width > n, "augmented matrix expected (at least one rhs column)");
-    let mut stats = GeStats::default();
-
-    for k in 0..n {
-        // Pivot search: arg-max |a_ik| over i >= k.
-        let col = primitives::extract(hc, aug, Axis::Col, k);
-        let piv = col.reduce_lifted(hc, ArgMaxAbs, |i, v| {
-            if i >= k {
-                Loc::new(v, i)
-            } else {
-                Loc::new(0.0, usize::MAX)
-            }
-        });
-        if piv.index == usize::MAX || piv.value.abs() < GE_EPS {
-            return Err(GeError::Singular);
-        }
-
-        // Row interchange via extract/insert.
-        if piv.index != k {
-            let rk = primitives::extract(hc, aug, Axis::Row, k);
-            let rp = primitives::extract(hc, aug, Axis::Row, piv.index);
-            primitives::insert(hc, aug, Axis::Row, k, &rp);
-            primitives::insert(hc, aug, Axis::Row, piv.index, &rk);
-            stats.row_swaps += 1;
-        }
-
-        // Fan out the pivot row and the multiplier column.
-        let row_k = primitives::extract_replicated(hc, aug, Axis::Row, k);
-        let col_k = primitives::extract_replicated(hc, aug, Axis::Col, k);
-        let akk = piv.value;
-
-        // Trailing update on the active submatrix only — with a cyclic
-        // layout the charged critical path shrinks as elimination
-        // proceeds. Column k is set to exact zero (eliminated, not left
-        // to roundoff).
-        aug.rank1_update_ranged(hc, &col_k, &row_k, k + 1..n, k + 1..width, move |_, _, a, c, r| {
-            a - (c / akk) * r
-        });
-        aug.rank1_update_ranged(hc, &col_k, &row_k, k + 1..n, k..k + 1, |_, _, _, _, _| 0.0);
+    assert!(from <= to && to <= n, "column range {from}..{to} out of 0..{n}");
+    for k in from..to {
+        eliminate_column(hc, aug, k, stats)?;
     }
-    Ok(stats)
+    Ok(())
+}
+
+/// One elimination step: pivot search, row interchange, fan-out, rank-1
+/// trailing update for column `k`.
+fn eliminate_column(
+    hc: &mut Hypercube,
+    aug: &mut DistMatrix<f64>,
+    k: usize,
+    stats: &mut GeStats,
+) -> Result<(), GeError> {
+    let n = aug.shape().rows;
+    let width = aug.shape().cols;
+
+    // Pivot search: arg-max |a_ik| over i >= k.
+    let col = primitives::extract(hc, aug, Axis::Col, k);
+    let piv = col.reduce_lifted(hc, ArgMaxAbs, |i, v| {
+        if i >= k {
+            Loc::new(v, i)
+        } else {
+            Loc::new(0.0, usize::MAX)
+        }
+    });
+    if piv.index == usize::MAX || piv.value.abs() < GE_EPS {
+        return Err(GeError::Singular);
+    }
+
+    // Row interchange via extract/insert.
+    if piv.index != k {
+        let rk = primitives::extract(hc, aug, Axis::Row, k);
+        let rp = primitives::extract(hc, aug, Axis::Row, piv.index);
+        primitives::insert(hc, aug, Axis::Row, k, &rp);
+        primitives::insert(hc, aug, Axis::Row, piv.index, &rk);
+        stats.row_swaps += 1;
+    }
+
+    // Fan out the pivot row and the multiplier column.
+    let row_k = primitives::extract_replicated(hc, aug, Axis::Row, k);
+    let col_k = primitives::extract_replicated(hc, aug, Axis::Col, k);
+    let akk = piv.value;
+
+    // Trailing update on the active submatrix only — with a cyclic
+    // layout the charged critical path shrinks as elimination
+    // proceeds. Column k is set to exact zero (eliminated, not left
+    // to roundoff).
+    aug.rank1_update_ranged(hc, &col_k, &row_k, k + 1..n, k + 1..width, move |_, _, a, c, r| {
+        a - (c / akk) * r
+    });
+    aug.rank1_update_ranged(hc, &col_k, &row_k, k + 1..n, k..k + 1, |_, _, _, _, _| 0.0);
+    Ok(())
 }
 
 /// Back substitution on a forward-eliminated augmented matrix, using the

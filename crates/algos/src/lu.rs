@@ -128,11 +128,7 @@ impl DistLu {
             let row = primitives::extract_replicated(hc, &self.lu, Axis::Row, k);
             let yk = y.reduce_lifted(hc, Sum, move |j, v| if j == k { v } else { 0.0 });
             let triple = row.zip(hc, &x, move |j, u, xj| {
-                (
-                    if j > k { u * xj } else { 0.0 },
-                    0.0,
-                    if j == k { u } else { 0.0 },
-                )
+                (if j > k { u * xj } else { 0.0 }, 0.0, if j == k { u } else { 0.0 })
             });
             let (dot, _, ukk) = triple.reduce_all(hc, Sum3);
             let xk = (yk - dot) / ukk;
@@ -250,12 +246,7 @@ mod tests {
             let f = lu_factor_dist(&mut hc, &am).expect("nonsingular");
             let serial = serial::lu_factor(&a).expect("nonsingular");
             let sd = serial.det();
-            assert!(
-                (f.det - sd).abs() < 1e-9 * (1.0 + sd.abs()),
-                "n = {n}: {} vs {}",
-                f.det,
-                sd
-            );
+            assert!((f.det - sd).abs() < 1e-9 * (1.0 + sd.abs()), "n = {n}: {} vs {}", f.det, sd);
         }
     }
 

@@ -129,7 +129,9 @@ mod tests {
 
     #[test]
     fn matmul_matches_serial() {
-        for (m, k, n, dim) in [(6usize, 8usize, 10usize, 4u32), (16, 16, 16, 4), (5, 3, 7, 2), (12, 9, 4, 0)] {
+        for (m, k, n, dim) in
+            [(6usize, 8usize, 10usize, 4u32), (16, 16, 16, 4), (5, 3, 7, 2), (12, 9, 4, 0)]
+        {
             let da = workloads::random_matrix(m, k, 1);
             let db = workloads::random_matrix(k, n, 2);
             let grid = ProcGrid::square(Cube::new(dim));

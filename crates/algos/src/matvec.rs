@@ -77,7 +77,9 @@ fn align<T: Numeric>(
     );
     assert_eq!(x.n(), want.n(), "vector length must match the matrix {axis:?} extent");
     match x.layout().embedding() {
-        VecEmbedding::Aligned { axis: xa, placement } if *xa == axis && x.layout().dist() == want.dist() => {
+        VecEmbedding::Aligned { axis: xa, placement }
+            if *xa == axis && x.layout().dist() == want.dist() =>
+        {
             match placement {
                 Placement::Replicated => x.clone(),
                 Placement::Concentrated(_) => remap::replicate(hc, x),

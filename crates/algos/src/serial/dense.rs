@@ -116,9 +116,7 @@ impl Dense {
     #[must_use]
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "x length must equal column count");
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(x).map(|(&a, &b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|i| self.row(i).iter().zip(x).map(|(&a, &b)| a * b).sum()).collect()
     }
 
     /// Dense matrix product `A * B`.
@@ -145,11 +143,7 @@ impl Dense {
     #[must_use]
     pub fn max_abs_diff(&self, other: &Dense) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// Copy out as nested `Vec`s.

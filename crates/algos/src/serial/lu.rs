@@ -193,9 +193,7 @@ mod tests {
         let a = Dense::from_fn(n, n, |i, j| if i + j == n - 1 { 1.0 } else { 0.0 });
         let f = lu_factor(&a).expect("nonsingular");
         assert!((f.det() - 1.0).abs() < 1e-12, "reversal of 4 has sign +1");
-        let det2 = lu_factor(&Dense::from_rows(&[vec![2.0, 0.0], vec![0.0, 3.0]]))
-            .unwrap()
-            .det();
+        let det2 = lu_factor(&Dense::from_rows(&[vec![2.0, 0.0], vec![0.0, 3.0]])).unwrap().det();
         assert!((det2 - 6.0).abs() < 1e-12);
     }
 }

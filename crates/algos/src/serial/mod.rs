@@ -11,6 +11,6 @@ pub mod simplex;
 pub use dense::Dense;
 pub use lu::{lu_factor, solve as lu_solve, Lu, LuError};
 pub use simplex::{
-    entering_column, leaving_row, solve as simplex_solve, SimplexResult, SimplexStatus,
-    StandardLp, EPS,
+    entering_column, leaving_row, solve as simplex_solve, SimplexResult, SimplexStatus, StandardLp,
+    EPS,
 };

@@ -473,11 +473,8 @@ mod tests {
     #[test]
     fn textbook_two_variable_lp() {
         // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), z = 36.
-        let p = lp(
-            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
-            &[4.0, 12.0, 18.0],
-            &[3.0, 5.0],
-        );
+        let p =
+            lp(&[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]], &[4.0, 12.0, 18.0], &[3.0, 5.0]);
         let r = solve(&p, 100);
         assert_eq!(r.status, SimplexStatus::Optimal);
         assert!((r.objective - 36.0).abs() < 1e-9);
@@ -519,11 +516,8 @@ mod tests {
         // Enumerate all basic solutions of tiny LPs and compare optima.
         // 2 vars, 3 constraints: vertices are intersections of pairs of
         // active constraints (including axes).
-        let p = lp(
-            &[vec![2.0, 1.0], vec![1.0, 3.0], vec![1.0, 0.0]],
-            &[8.0, 9.0, 3.0],
-            &[2.0, 3.0],
-        );
+        let p =
+            lp(&[vec![2.0, 1.0], vec![1.0, 3.0], vec![1.0, 0.0]], &[8.0, 9.0, 3.0], &[2.0, 3.0]);
         let r = solve(&p, 100);
         assert_eq!(r.status, SimplexStatus::Optimal);
         // Brute force over a fine grid (coarse certificate).
@@ -548,16 +542,10 @@ mod tests {
 
     #[test]
     fn general_solver_reduces_to_standard_when_b_nonnegative() {
-        let std_lp = lp(
-            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
-            &[4.0, 12.0, 18.0],
-            &[3.0, 5.0],
-        );
-        let gen_lp = glp(
-            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
-            &[4.0, 12.0, 18.0],
-            &[3.0, 5.0],
-        );
+        let std_lp =
+            lp(&[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]], &[4.0, 12.0, 18.0], &[3.0, 5.0]);
+        let gen_lp =
+            glp(&[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]], &[4.0, 12.0, 18.0], &[3.0, 5.0]);
         let rs = solve(&std_lp, 100);
         let rg = solve_general(&gen_lp, 100);
         assert_eq!(rg.status, SimplexStatus::Optimal);
@@ -593,11 +581,7 @@ mod tests {
     fn two_phase_equality_like_band() {
         // 2 <= x + 2y <= 2 expressed as a pair of inequalities: the
         // feasible set is the segment x + 2y = 2, x,y >= 0.
-        let g = glp(
-            &[vec![1.0, 2.0], vec![-1.0, -2.0]],
-            &[2.0, -2.0],
-            &[3.0, 1.0],
-        );
+        let g = glp(&[vec![1.0, 2.0], vec![-1.0, -2.0]], &[2.0, -2.0], &[3.0, 1.0]);
         let r = solve_general(&g, 200);
         assert_eq!(r.status, SimplexStatus::Optimal);
         // max 3x + y on the segment: best at x = 2, y = 0 -> 6.
@@ -615,11 +599,7 @@ mod tests {
 
     #[test]
     fn tableau_structure_is_consistent() {
-        let g = glp(
-            &[vec![1.0, 1.0], vec![-1.0, 0.0]],
-            &[4.0, -1.0],
-            &[1.0, 2.0],
-        );
+        let g = glp(&[vec![1.0, 1.0], vec![-1.0, 0.0]], &[4.0, -1.0], &[1.0, 2.0]);
         let (t, basis) = g.two_phase_tableau();
         assert_eq!(t.rows(), 4); // 2 constraints + z + w
         assert_eq!(t.cols(), 2 + 2 + 1 + 1); // n + m + one artificial + rhs

@@ -99,6 +99,17 @@ enum PhaseEnd {
     MaxIterations,
 }
 
+/// Outcome of a single simplex pivot attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PivotOutcome {
+    /// No eligible entering column — the current basis is optimal.
+    Optimal,
+    /// An entering column exists but no row limits it — unbounded.
+    Unbounded,
+    /// One pivot `(entering, leaving-row)` was performed.
+    Pivoted(usize, usize),
+}
+
 /// One simplex phase on a distributed tableau: objective row `obj_row`,
 /// entering columns restricted by `allowed`, ratio test over rows
 /// `0..m_constraints`, every tableau row updated per pivot. Mirrors the
@@ -135,84 +146,100 @@ fn run_phase_parallel_with(
     max_iterations: usize,
     rule: PivotRule,
 ) -> PhaseEnd {
+    for iterations in 0..max_iterations {
+        match pivot_once(hc, t, basis, m_constraints, obj_row, allowed, rule) {
+            PivotOutcome::Optimal => return PhaseEnd::Optimal(iterations),
+            PivotOutcome::Unbounded => return PhaseEnd::Unbounded(iterations),
+            PivotOutcome::Pivoted(..) => {}
+        }
+    }
+    PhaseEnd::MaxIterations
+}
+
+/// Perform at most one simplex pivot on a distributed tableau — the
+/// resumable unit of the solver. One run of `k` pivots and two runs of
+/// `j` then `k - j` pivots over the same tableau produce bit-identical
+/// iterates (each pivot depends only on the tableau and basis), which is
+/// what [`crate::checkpoint`] relies on.
+pub fn pivot_once(
+    hc: &mut Hypercube,
+    t: &mut DistMatrix<f64>,
+    basis: &mut [usize],
+    m_constraints: usize,
+    obj_row: usize,
+    allowed: impl Fn(usize) -> bool + Copy + Sync,
+    rule: PivotRule,
+) -> PivotOutcome {
     let width = t.shape().cols;
     let rhs_col = width - 1;
 
-    for iterations in 0..max_iterations {
-        // 1. Entering column under the configured rule, masked to
-        //    `allowed` (and never rhs).
-        let objective = primitives::extract(hc, t, Axis::Row, obj_row);
-        let chosen: Option<usize> = match rule {
-            PivotRule::Dantzig => {
-                let entering = objective.reduce_lifted(hc, ArgMin, move |j, v| {
-                    if j < rhs_col && allowed(j) {
-                        Loc::new(v, j)
-                    } else {
-                        Loc::new(f64::INFINITY, usize::MAX)
-                    }
-                });
-                if entering.index == usize::MAX || entering.value >= -EPS {
-                    None
+    // 1. Entering column under the configured rule, masked to
+    //    `allowed` (and never rhs).
+    let objective = primitives::extract(hc, t, Axis::Row, obj_row);
+    let chosen: Option<usize> = match rule {
+        PivotRule::Dantzig => {
+            let entering = objective.reduce_lifted(hc, ArgMin, move |j, v| {
+                if j < rhs_col && allowed(j) {
+                    Loc::new(v, j)
                 } else {
-                    Some(entering.index)
+                    Loc::new(f64::INFINITY, usize::MAX)
                 }
-            }
-            PivotRule::Bland => {
-                // Smallest eligible index: arg-min over the index itself.
-                let entering = objective.reduce_lifted(hc, ArgMin, move |j, v| {
-                    if j < rhs_col && allowed(j) && v < -EPS {
-                        Loc::new(j as f64, j)
-                    } else {
-                        Loc::new(f64::INFINITY, usize::MAX)
-                    }
-                });
-                if entering.index == usize::MAX {
-                    None
-                } else {
-                    Some(entering.index)
-                }
-            }
-        };
-        let Some(q) = chosen else {
-            return PhaseEnd::Optimal(iterations);
-        };
-
-        // 2. Leaving row: minimum ratio over constraint rows with
-        //    a_iq > EPS.
-        let col_q = primitives::extract_replicated(hc, t, Axis::Col, q);
-        let rhs = primitives::extract_replicated(hc, t, Axis::Col, rhs_col);
-        let ratios = col_q.zip(hc, &rhs, move |i, c, b| {
-            if i < m_constraints && c > EPS {
-                Loc::new(b / c, i)
+            });
+            if entering.index == usize::MAX || entering.value >= -EPS {
+                None
             } else {
-                Loc::new(f64::MAX, usize::MAX)
+                Some(entering.index)
             }
-        });
-        let leaving = ratios.reduce_all(hc, ArgMin);
-        if leaving.index == usize::MAX {
-            return PhaseEnd::Unbounded(iterations);
         }
-        let r = leaving.index;
-
-        // 3. Normalise the pivot row: a_rq as a masked-sum scalar, then
-        //    scale and insert (the inserted row is replicated => local).
-        let arq = col_q.reduce_lifted(hc, Sum, move |i, v| if i == r { v } else { 0.0 });
-        let row_r = primitives::extract_replicated(hc, t, Axis::Row, r);
-        let scaled = row_r.map(hc, move |_, v| v / arq);
-        primitives::insert(hc, t, Axis::Row, r, &scaled);
-
-        // 4. Eliminate column q from every other row. col_q still holds
-        //    the pre-normalisation multipliers for rows != r.
-        t.rank1_update(hc, &col_q, &scaled, move |i, _, a, c, s| {
-            if i == r {
-                a
+        PivotRule::Bland => {
+            // Smallest eligible index: arg-min over the index itself.
+            let entering = objective.reduce_lifted(hc, ArgMin, move |j, v| {
+                if j < rhs_col && allowed(j) && v < -EPS {
+                    Loc::new(j as f64, j)
+                } else {
+                    Loc::new(f64::INFINITY, usize::MAX)
+                }
+            });
+            if entering.index == usize::MAX {
+                None
             } else {
-                a - c * s
+                Some(entering.index)
             }
-        });
-        basis[r] = q;
+        }
+    };
+    let Some(q) = chosen else {
+        return PivotOutcome::Optimal;
+    };
+
+    // 2. Leaving row: minimum ratio over constraint rows with
+    //    a_iq > EPS.
+    let col_q = primitives::extract_replicated(hc, t, Axis::Col, q);
+    let rhs = primitives::extract_replicated(hc, t, Axis::Col, rhs_col);
+    let ratios = col_q.zip(hc, &rhs, move |i, c, b| {
+        if i < m_constraints && c > EPS {
+            Loc::new(b / c, i)
+        } else {
+            Loc::new(f64::MAX, usize::MAX)
+        }
+    });
+    let leaving = ratios.reduce_all(hc, ArgMin);
+    if leaving.index == usize::MAX {
+        return PivotOutcome::Unbounded;
     }
-    PhaseEnd::MaxIterations
+    let r = leaving.index;
+
+    // 3. Normalise the pivot row: a_rq as a masked-sum scalar, then
+    //    scale and insert (the inserted row is replicated => local).
+    let arq = col_q.reduce_lifted(hc, Sum, move |i, v| if i == r { v } else { 0.0 });
+    let row_r = primitives::extract_replicated(hc, t, Axis::Row, r);
+    let scaled = row_r.map(hc, move |_, v| v / arq);
+    primitives::insert(hc, t, Axis::Row, r, &scaled);
+
+    // 4. Eliminate column q from every other row. col_q still holds
+    //    the pre-normalisation multipliers for rows != r.
+    t.rank1_update(hc, &col_q, &scaled, move |i, _, a, c, s| if i == r { a } else { a - c * s });
+    basis[r] = q;
+    PivotOutcome::Pivoted(q, r)
 }
 
 /// Solve a general-form LP (`b` of any sign) with the two-phase method
@@ -238,11 +265,25 @@ pub fn solve_general_parallel(
 
     // Phase 1.
     if n_art > 0 {
-        match run_phase_parallel(hc, &mut t, &mut basis, m, m + 1, move |j| j < rhs_col, max_iterations) {
+        match run_phase_parallel(
+            hc,
+            &mut t,
+            &mut basis,
+            m,
+            m + 1,
+            move |j| j < rhs_col,
+            max_iterations,
+        ) {
             PhaseEnd::Optimal(iters) => used += iters,
             PhaseEnd::Unbounded(_) => unreachable!("phase-1 objective is bounded above by 0"),
             PhaseEnd::MaxIterations => {
-                return assemble_general(SimplexStatus::MaxIterations, &t, &basis, lp, max_iterations)
+                return assemble_general(
+                    SimplexStatus::MaxIterations,
+                    &t,
+                    &basis,
+                    lp,
+                    max_iterations,
+                )
             }
         }
         // Infeasibility check: the w-row rhs (a single element read
@@ -258,7 +299,9 @@ pub fn solve_general_parallel(
     let budget = max_iterations.saturating_sub(used);
     let nm = n + m;
     match run_phase_parallel(hc, &mut t, &mut basis, m, m, move |j| j < nm, budget) {
-        PhaseEnd::Optimal(iters) => assemble_general(SimplexStatus::Optimal, &t, &basis, lp, used + iters),
+        PhaseEnd::Optimal(iters) => {
+            assemble_general(SimplexStatus::Optimal, &t, &basis, lp, used + iters)
+        }
         PhaseEnd::Unbounded(iters) => {
             assemble_general(SimplexStatus::Unbounded, &t, &basis, lp, used + iters)
         }
@@ -286,7 +329,7 @@ fn assemble_general(
     SimplexResult { status, objective: t.get(lp.m(), rhs_col), x, iterations }
 }
 
-fn assemble(
+pub(crate) fn assemble(
     status: SimplexStatus,
     t: &DistMatrix<f64>,
     basis: &[usize],

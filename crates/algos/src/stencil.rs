@@ -123,10 +123,7 @@ mod tests {
 
     fn setup(n: usize, dim: u32) -> (Hypercube, MatrixLayout) {
         let grid = ProcGrid::square(Cube::new(dim));
-        (
-            Hypercube::new(dim, CostModel::cm2()),
-            MatrixLayout::block(MatShape::new(n, n), grid),
-        )
+        (Hypercube::new(dim, CostModel::cm2()), MatrixLayout::block(MatShape::new(n, n), grid))
     }
 
     fn point_source(n: usize) -> Dense {

@@ -72,12 +72,7 @@ impl DistTridiag {
                 move |i| if i + s < n { Some(i + s) } else { None },
                 Some(IDENTITY_ROW),
             );
-            let above = route_permutation(
-                hc,
-                &rows,
-                move |i| i.checked_sub(s),
-                Some(IDENTITY_ROW),
-            );
+            let above = route_permutation(hc, &rows, move |i| i.checked_sub(s), Some(IDENTITY_ROW));
             let paired = rows.zip(hc, &below, |_, cur, lo| (cur, lo));
             rows = paired.zip(hc, &above, |_, (cur, lo), hi| {
                 let (a, b, c, d) = cur;
@@ -85,12 +80,7 @@ impl DistTridiag {
                 let (ha, hb, hc_, hd) = hi;
                 let alpha = -a / lb;
                 let gamma = -c / hb;
-                (
-                    alpha * la,
-                    b + alpha * lc + gamma * ha,
-                    gamma * hc_,
-                    d + alpha * ld + gamma * hd,
-                )
+                (alpha * la, b + alpha * lc + gamma * ha, gamma * hc_, d + alpha * ld + gamma * hd)
             });
             // Charge the extra arithmetic beyond the zip's 1 flop/elem:
             // the update is ~12 flops per equation.
@@ -242,6 +232,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "a[0] must be zero")]
     fn rejects_nonzero_corner() {
-        let _ = DistTridiag::from_diagonals(grid(1), &[1.0, 1.0], &[2.0, 2.0], &[1.0, 0.0], &[1.0, 1.0]);
+        let _ = DistTridiag::from_diagonals(
+            grid(1),
+            &[1.0, 1.0],
+            &[2.0, 2.0],
+            &[1.0, 0.0],
+            &[1.0, 1.0],
+        );
     }
 }

@@ -44,7 +44,9 @@ fn bench_ge_serial_baseline(c: &mut Criterion) {
     for n in [32usize, 64, 128] {
         let (a, bvec, _) = workloads::diag_dominant_system(n, n as u64);
         g.bench_with_input(BenchmarkId::from_parameter(n), &(a, bvec), |b, (a, bvec)| {
-            b.iter(|| std::hint::black_box(vmp_algos::serial::lu_solve(a, bvec).expect("nonsingular")));
+            b.iter(|| {
+                std::hint::black_box(vmp_algos::serial::lu_solve(a, bvec).expect("nonsingular"))
+            });
         });
     }
     g.finish();

@@ -80,5 +80,10 @@ fn bench_scan_and_alltoall(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_broadcast_schedules, bench_allreduce_schedules, bench_scan_and_alltoall);
+criterion_group!(
+    benches,
+    bench_broadcast_schedules,
+    bench_allreduce_schedules,
+    bench_scan_and_alltoall
+);
 criterion_main!(benches);

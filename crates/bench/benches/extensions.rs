@@ -38,9 +38,7 @@ fn bench_stencil(c: &mut Criterion) {
     g.sample_size(10);
     for n in [64usize, 128] {
         let layout = MatrixLayout::block(MatShape::new(n, n), square_grid(DIM));
-        let f = DistMatrix::from_fn(layout, |i, j| {
-            f64::from(u8::from(i == n / 2 && j == n / 2))
-        });
+        let f = DistMatrix::from_fn(layout, |i, j| f64::from(u8::from(i == n / 2 && j == n / 2)));
         g.bench_with_input(BenchmarkId::new("jacobi_5_sweeps", n), &f, |bench, f| {
             bench.iter(|| {
                 let mut hc = cm2(DIM);
@@ -84,12 +82,16 @@ fn bench_scans(c: &mut Criterion) {
             });
         });
         let flags = DistVector::from_fn(layout, |i| i % 37 == 0);
-        g.bench_with_input(BenchmarkId::new("segmented_reduce", n), &(&v, &flags), |bench, (v, f)| {
-            bench.iter(|| {
-                let mut hc = cm2(DIM);
-                std::hint::black_box(segmented_reduce(&mut hc, v, f, Sum))
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("segmented_reduce", n),
+            &(&v, &flags),
+            |bench, (v, f)| {
+                bench.iter(|| {
+                    let mut hc = cm2(DIM);
+                    std::hint::black_box(segmented_reduce(&mut hc, v, f, Sum))
+                });
+            },
+        );
     }
     g.finish();
 }

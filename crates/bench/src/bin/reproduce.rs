@@ -3,13 +3,24 @@
 //! ```text
 //! cargo run --release -p vmp-bench --bin reproduce            # everything
 //! cargo run --release -p vmp-bench --bin reproduce -- t1 f4   # a subset
+//! cargo run --release -p vmp-bench --bin reproduce -- r1      # fault sweep
+//! cargo run --release -p vmp-bench --bin reproduce -- --list  # what exists
 //! cargo run --release -p vmp-bench --bin reproduce -- --json out.json
 //! ```
 
 use std::io::Write;
 
-use vmp_bench::experiments::{self, ALL_IDS};
+use vmp_bench::experiments::{self, ALL_IDS, DESCRIPTIONS};
 use vmp_bench::table::Table;
+
+fn usage() -> String {
+    format!(
+        "usage: reproduce [--list] [--json PATH] [ID ...]\n\
+         known experiment ids: {}\n\
+         run with no ids to reproduce everything; --list describes each id",
+        ALL_IDS.join(" ")
+    )
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,14 +31,29 @@ fn main() {
         if a == "--json" {
             json_path = it.next();
             if json_path.is_none() {
-                eprintln!("--json requires a path");
+                eprintln!("--json requires a path\n{}", usage());
                 std::process::exit(2);
             }
-        } else if a == "--help" || a == "-h" {
-            eprintln!("usage: reproduce [--json PATH] [t1 t2 t3 t4 t5 f1 f2 f3 f4 ...]");
+        } else if a == "--list" {
+            for (id, desc) in DESCRIPTIONS {
+                println!("{id:4} {desc}");
+            }
             return;
+        } else if a == "--help" || a == "-h" {
+            eprintln!("{}", usage());
+            return;
+        } else if a.starts_with('-') {
+            eprintln!("unknown flag: {a}\n{}", usage());
+            std::process::exit(2);
         } else {
             ids.push(a);
+        }
+    }
+    // Validate up front so a typo late in the list doesn't waste a run.
+    for id in &ids {
+        if !ALL_IDS.contains(&id.to_ascii_lowercase().as_str()) {
+            eprintln!("unknown experiment id: {id}\n{}", usage());
+            std::process::exit(2);
         }
     }
     if ids.is_empty() {
@@ -51,7 +77,9 @@ fn main() {
                 tables.push(t);
             }
             None => {
-                eprintln!("unknown experiment id: {id} (known: {ALL_IDS:?})");
+                // Unreachable after up-front validation, but keep the
+                // defence for direct library misuse.
+                eprintln!("unknown experiment id: {id}\n{}", usage());
                 std::process::exit(2);
             }
         }

@@ -40,7 +40,8 @@ pub fn random_aligned_vector(m: &DistMatrix<f64>, axis: Axis) -> DistVector<f64>
 /// A cheap deterministic value in roughly `[-1, 1]`.
 #[must_use]
 pub fn hash_entry(i: usize, j: usize) -> f64 {
-    let mut h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (j as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    let mut h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (j as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
     h ^= h >> 33;
     h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
     h ^= h >> 33;

@@ -29,7 +29,8 @@ pub fn t5() -> Table {
     };
 
     // Concentrated -> replicated (tree broadcast).
-    let conc = VectorLayout::aligned(n, grid.clone(), Axis::Row, Placement::Concentrated(3), Dist::Cyclic);
+    let conc =
+        VectorLayout::aligned(n, grid.clone(), Axis::Row, Placement::Concentrated(3), Dist::Cyclic);
     let v = DistVector::from_fn(conc, |i| hash_entry(i, 0));
     let mut hc = cm2(dim);
     let vr = remap::replicate(&mut hc, &v);
@@ -84,7 +85,9 @@ pub fn t5() -> Table {
     let _ = primitives::extract_replicated(&mut hc, &m, Axis::Row, 100);
     add("extract + replicate (the induced change, 512 cols)", &hc);
 
-    t.note("replicated->concentrated is free (copies dropped); routed moves pay d blocked supersteps");
+    t.note(
+        "replicated->concentrated is free (copies dropped); routed moves pay d blocked supersteps",
+    );
     t
 }
 
@@ -99,8 +102,13 @@ mod tests {
         // a vector remap.
         let dim = 4u32;
         let grid = square_grid(dim);
-        let conc =
-            VectorLayout::aligned(64, grid.clone(), Axis::Row, Placement::Concentrated(1), Dist::Cyclic);
+        let conc = VectorLayout::aligned(
+            64,
+            grid.clone(),
+            Axis::Row,
+            Placement::Concentrated(1),
+            Dist::Cyclic,
+        );
         let v = DistVector::from_fn(conc, |i| i as f64);
         let mut hc1 = cm2(dim);
         let vr = remap::replicate(&mut hc1, &v);

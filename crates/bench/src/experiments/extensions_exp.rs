@@ -65,10 +65,9 @@ pub fn x2() -> Table {
     let mut t_p1 = None;
     for dim in [0u32, 2, 4, 6, 8, 10] {
         let grid = square_grid(dim);
-        let am = DistMatrix::from_fn(
-            MatrixLayout::cyclic(MatShape::new(n, n), grid),
-            |i, j| a.get(i, j),
-        );
+        let am = DistMatrix::from_fn(MatrixLayout::cyclic(MatShape::new(n, n), grid), |i, j| {
+            a.get(i, j)
+        });
         let mut hc = cm2(dim);
         let out = cg_solve(&mut hc, &am, &b, CgOptions::default());
         assert!(out.converged);
@@ -108,13 +107,16 @@ pub fn x3() -> Table {
             } else {
                 MatrixLayout::block(MatShape::new(n, n), grid)
             };
-            let f = DistMatrix::from_fn(layout, |i, j| {
-                if i == n / 2 && j == n / 2 {
-                    1.0
-                } else {
-                    0.0
-                }
-            });
+            let f = DistMatrix::from_fn(
+                layout,
+                |i, j| {
+                    if i == n / 2 && j == n / 2 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                },
+            );
             let mut hc = cm2(dim);
             let _ = vmp_algos::stencil::jacobi_poisson(&mut hc, &f, 1.0, iters);
             hc.elapsed_us()
@@ -128,7 +130,9 @@ pub fn x3() -> Table {
             fmt_x(cyclic / block),
         ]);
     }
-    t.note("block embeddings move only block-boundary lines per shift; cyclic relocates every element");
+    t.note(
+        "block embeddings move only block-boundary lines per shift; cyclic relocates every element",
+    );
     t
 }
 
@@ -149,9 +153,7 @@ pub fn x4() -> Table {
     for dim in [0u32, 2, 4, 6, 8] {
         let grid = square_grid(dim);
         let layout = VectorLayout::linear(n, grid.clone(), Dist::Block);
-        let x: Vec<Cplx> = (0..n)
-            .map(|i| Cplx::new(((i * 37) % 11) as f64 - 5.0, 0.0))
-            .collect();
+        let x: Vec<Cplx> = (0..n).map(|i| Cplx::new(((i * 37) % 11) as f64 - 5.0, 0.0)).collect();
         let v = DistVector::from_slice(layout.clone(), &x);
         let mut hc = cm2(dim);
         let _ = fft(&mut hc, &v);
@@ -171,7 +173,9 @@ pub fn x4() -> Table {
             steps_sort.to_string(),
         ]);
     }
-    t.note("FFT: d neighbour exchanges + bit-reversal route; sort: O(lg^2 n) compare-exchange stages");
+    t.note(
+        "FFT: d neighbour exchanges + bit-reversal route; sort: O(lg^2 n) compare-exchange stages",
+    );
     t
 }
 
@@ -191,11 +195,9 @@ pub fn x5() -> Table {
         "the reproduced claims are ratios/crossovers, insensitive to the exact machine constants",
         &["model", "naive/prim (n=256)", "naive/prim (n=512)", "eff @ m/p=64", "eff @ m/p=1024"],
     );
-    for (name, cost) in [
-        ("CM-2", CostModel::cm2()),
-        ("iPSC/1", CostModel::ipsc1()),
-        ("unit", CostModel::unit()),
-    ] {
+    for (name, cost) in
+        [("CM-2", CostModel::cm2()), ("iPSC/1", CostModel::ipsc1()), ("unit", CostModel::unit())]
+    {
         let (nv1, pv1) = matvec_pair_with(256, dim, cost);
         let (nv2, pv2) = matvec_pair_with(512, dim, cost);
         let eff = |n: usize| {

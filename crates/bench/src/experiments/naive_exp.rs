@@ -63,13 +63,18 @@ pub fn ge_step_pair(n: usize, dim: u32) -> (f64, f64) {
             )
         };
         let akk = row.get(0);
-        m.rank1_update(&mut hc, &col, &row, move |i, j, a, c, r| {
-            if i > 0 && j > 0 {
-                a - (c / akk) * r
-            } else {
-                a
-            }
-        });
+        m.rank1_update(
+            &mut hc,
+            &col,
+            &row,
+            move |i, j, a, c, r| {
+                if i > 0 && j > 0 {
+                    a - (c / akk) * r
+                } else {
+                    a
+                }
+            },
+        );
         hc.elapsed_us()
     };
     let _ = grid;
@@ -120,13 +125,18 @@ pub fn simplex_pivot_pair(n: usize, dim: u32) -> (f64, f64) {
         } else {
             primitives::insert(&mut hc, &mut t, Axis::Row, r, &scaled);
         }
-        t.rank1_update(&mut hc, &col_q, &scaled, move |i, _, a, c, s| {
-            if i == r {
-                a
-            } else {
-                a - c * s
-            }
-        });
+        t.rank1_update(
+            &mut hc,
+            &col_q,
+            &scaled,
+            move |i, _, a, c, s| {
+                if i == r {
+                    a
+                } else {
+                    a - c * s
+                }
+            },
+        );
         hc.elapsed_us()
     };
     (run(true), run(false))
@@ -144,11 +154,23 @@ pub fn t3() -> Table {
     );
     for n in [256usize, 512] {
         let (nv, pv) = matvec_pair(n, dim);
-        t.row(vec!["vector-matrix multiply".into(), n.to_string(), fmt_us(nv), fmt_us(pv), fmt_x(nv / pv)]);
+        t.row(vec![
+            "vector-matrix multiply".into(),
+            n.to_string(),
+            fmt_us(nv),
+            fmt_us(pv),
+            fmt_x(nv / pv),
+        ]);
     }
     for n in [256usize, 512] {
         let (nv, pv) = ge_step_pair(n, dim);
-        t.row(vec!["GE elimination step".into(), n.to_string(), fmt_us(nv), fmt_us(pv), fmt_x(nv / pv)]);
+        t.row(vec![
+            "GE elimination step".into(),
+            n.to_string(),
+            fmt_us(nv),
+            fmt_us(pv),
+            fmt_x(nv / pv),
+        ]);
     }
     for n in [256usize, 512] {
         let (nv, pv) = simplex_pivot_pair(n, dim);

@@ -18,11 +18,7 @@ type InFlightItem<T> = (usize, usize, Vec<T>);
 /// each node's data, so time is `|dims| * (alpha + beta * B * 2^{k-1})`
 /// for uniform block size `B` — the classic `O(B p lg p / 2)` transfer
 /// volume (Johnsson & Ho TR-610).
-pub fn alltoall<T>(
-    hc: &mut Hypercube,
-    send: Vec<Vec<Vec<T>>>,
-    dims: &[u32],
-) -> Vec<Vec<Vec<T>>> {
+pub fn alltoall<T>(hc: &mut Hypercube, send: Vec<Vec<Vec<T>>>, dims: &[u32]) -> Vec<Vec<Vec<T>>> {
     let cube = hc.cube();
     check_dims(cube, dims);
     let k = dims.len();
@@ -31,9 +27,14 @@ pub fn alltoall<T>(
 
     let mut in_flight: Vec<Vec<InFlightItem<T>>> = Vec::with_capacity(cube.nodes());
     for (node, blocks) in send.into_iter().enumerate() {
-        assert_eq!(blocks.len(), blocks_per_node, "node {node}: need one block per destination coordinate");
+        assert_eq!(
+            blocks.len(),
+            blocks_per_node,
+            "node {node}: need one block per destination coordinate"
+        );
         let src = cube.extract_coords(node, dims);
-        in_flight.push(blocks.into_iter().enumerate().map(|(dst, data)| (src, dst, data)).collect());
+        in_flight
+            .push(blocks.into_iter().enumerate().map(|(dst, data)| (src, dst, data)).collect());
     }
 
     for j in 0..k {
@@ -41,6 +42,7 @@ pub fn alltoall<T>(
         let chan = 1usize << dims[j];
         let mut max_fwd = 0usize;
         let mut total: u64 = 0;
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
         // (destination node, in-flight item)
         let mut moved: Vec<(usize, InFlightItem<T>)> = Vec::new();
         for node in cube.iter_nodes() {
@@ -57,13 +59,16 @@ pub fn alltoall<T>(
                 }
             }
             in_flight[node] = stay;
+            if fwd_elems > 0 {
+                pairs.push((node, node ^ chan));
+            }
             max_fwd = max_fwd.max(fwd_elems);
             total += fwd_elems as u64;
         }
         for (dst_node, item) in moved {
             in_flight[dst_node].push(item);
         }
-        hc.charge_message_step(max_fwd, total);
+        hc.charge_exchange_step(&pairs, max_fwd, total);
     }
 
     // Reassemble: at each node, blocks indexed by source coordinate.
@@ -90,9 +95,8 @@ mod tests {
         let mut hc = unit_machine(3);
         let dims = [0u32, 1, 2];
         // send[s][c] = [s*8 + c]
-        let send: Vec<Vec<Vec<u32>>> = (0..8)
-            .map(|s| (0..8).map(|c| vec![(s * 8 + c) as u32]).collect())
-            .collect();
+        let send: Vec<Vec<Vec<u32>>> =
+            (0..8).map(|s| (0..8).map(|c| vec![(s * 8 + c) as u32]).collect()).collect();
         let recv = alltoall(&mut hc, send, &dims);
         for c in 0..8 {
             for s in 0..8 {
@@ -108,9 +112,8 @@ mod tests {
     fn alltoall_variable_block_sizes() {
         let mut hc = unit_machine(2);
         let dims = [0u32, 1];
-        let send: Vec<Vec<Vec<u8>>> = (0..4)
-            .map(|s| (0..4).map(|c| vec![s as u8; c]).collect())
-            .collect();
+        let send: Vec<Vec<Vec<u8>>> =
+            (0..4).map(|s| (0..4).map(|c| vec![s as u8; c]).collect()).collect();
         let recv = alltoall(&mut hc, send, &dims);
         for c in 0..4 {
             for s in 0..4 {
@@ -124,9 +127,8 @@ mod tests {
         // dim-4 cube as 4x4 grid; exchange within rows (dims {0,1}).
         let mut hc = unit_machine(4);
         let dims = [0u32, 1];
-        let send: Vec<Vec<Vec<usize>>> = (0..16)
-            .map(|n| (0..4).map(|c| vec![n * 10 + c]).collect())
-            .collect();
+        let send: Vec<Vec<Vec<usize>>> =
+            (0..16).map(|n| (0..4).map(|c| vec![n * 10 + c]).collect()).collect();
         let recv = alltoall(&mut hc, send, &dims);
         for n in 0..16usize {
             let row_base = n & !0b11;

@@ -47,10 +47,10 @@ pub fn broadcast<T: Clone>(
                 transfers.push((node, partner));
             }
         }
-        for (src, dst) in transfers {
+        for &(src, dst) in &transfers {
             locals[dst] = locals[src].clone();
         }
-        hc.charge_message_step(max_len, total);
+        hc.charge_exchange_step(&transfers, max_len, total);
     }
 }
 
@@ -92,7 +92,7 @@ mod tests {
         let mut hc = unit_machine(4);
         let row_dims = [0u32, 1];
         let mut locals = hc.locals_from_fn(|n| vec![(n >> 2) as u32 * 100]); // row id * 100
-        // Give non-leaders junk to prove it is overwritten.
+                                                                             // Give non-leaders junk to prove it is overwritten.
         for n in hc.cube().iter_nodes() {
             if hc.cube().extract_coords(n, &row_dims) != 0 {
                 locals[n] = vec![u32::MAX];

@@ -16,15 +16,19 @@ pub fn exchange<T: Clone>(hc: &mut Hypercube, locals: &[Vec<T>], dim: u32) -> Ve
     let bit = 1usize << dim;
     let mut max_len = 0usize;
     let mut total: u64 = 0;
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
     let out: Vec<Vec<T>> = (0..cube.nodes())
         .map(|node| {
             let buf = &locals[node ^ bit];
             max_len = max_len.max(buf.len());
             total += buf.len() as u64;
+            if node & bit == 0 {
+                pairs.push((node, node | bit));
+            }
             buf.clone()
         })
         .collect();
-    hc.charge_message_step(max_len, total);
+    hc.charge_exchange_step(&pairs, max_len, total);
     out
 }
 

@@ -24,11 +24,13 @@ pub fn allgather<T: Clone>(hc: &mut Hypercube, locals: &mut [Vec<T>], dims: &[u3
         let _ = j;
         let mut max_len = 0usize;
         let mut total: u64 = 0;
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
         for node in cube.iter_nodes() {
             if node & chan != 0 {
                 continue;
             }
             let partner = node | chan;
+            pairs.push((node, partner));
             let lo_len = locals[node].len();
             let hi_len = locals[partner].len();
             max_len = max_len.max(lo_len.max(hi_len));
@@ -44,7 +46,7 @@ pub fn allgather<T: Clone>(hc: &mut Hypercube, locals: &mut [Vec<T>], dims: &[u3
             *lo = merged.clone();
             *hi = merged;
         }
-        hc.charge_message_step(max_len, total);
+        hc.charge_exchange_step(&pairs, max_len, total);
     }
 }
 
@@ -76,11 +78,11 @@ pub fn gather<T>(hc: &mut Hypercube, locals: &mut [Vec<T>], dims: &[u32]) {
                 sends.push((node, dst));
             }
         }
-        for (src, dst) in sends {
+        for &(src, dst) in &sends {
             let mut sent = std::mem::take(&mut locals[src]);
             locals[dst].append(&mut sent);
         }
-        hc.charge_message_step(max_len, total);
+        hc.charge_exchange_step(&sends, max_len, total);
     }
 }
 
@@ -93,11 +95,7 @@ pub fn gather<T>(hc: &mut Hypercube, locals: &mut [Vec<T>], dims: &[u32]) {
 /// Panics unless `segments.len() == 2^{|dims|}` at every subcube root
 /// (roots are identified by coordinate 0; pass `segments[node]` empty
 /// `Vec`s elsewhere — they are ignored).
-pub fn scatter<T>(
-    hc: &mut Hypercube,
-    segments: Vec<Vec<Vec<T>>>,
-    dims: &[u32],
-) -> Vec<Vec<T>> {
+pub fn scatter<T>(hc: &mut Hypercube, segments: Vec<Vec<Vec<T>>>, dims: &[u32]) -> Vec<Vec<T>> {
     let cube = hc.cube();
     check_dims(cube, dims);
     let k = dims.len();
@@ -134,10 +132,11 @@ pub fn scatter<T>(
                 sends.push((node, node ^ chan, upper));
             }
         }
+        let pairs: Vec<(usize, usize)> = sends.iter().map(|&(src, dst, _)| (src, dst)).collect();
         for (_src, dst, segs) in sends {
             holdings[dst] = segs;
         }
-        hc.charge_message_step(max_len, total);
+        hc.charge_exchange_step(&pairs, max_len, total);
     }
 
     holdings
@@ -258,13 +257,7 @@ mod tests {
         let mut hc = unit_machine(4);
         let dims = [2u32, 3];
         let segments: Vec<Vec<Vec<usize>>> = (0..16)
-            .map(|n| {
-                if n < 4 {
-                    (0..4).map(|c| vec![n * 100 + c]).collect()
-                } else {
-                    Vec::new()
-                }
-            })
+            .map(|n| if n < 4 { (0..4).map(|c| vec![n * 100 + c]).collect() } else { Vec::new() })
             .collect();
         let locals = scatter(&mut hc, segments, &dims);
         for n in 0..16usize {

@@ -47,7 +47,7 @@ pub fn reduce<T: Copy>(
                 pairs.push((node, partner));
             }
         }
-        for (src, dst) in pairs {
+        for &(src, dst) in &pairs {
             let sent = std::mem::take(&mut locals[src]);
             assert_eq!(
                 sent.len(),
@@ -58,7 +58,7 @@ pub fn reduce<T: Copy>(
                 *acc = op(*acc, v);
             }
         }
-        hc.charge_message_step(max_len, total);
+        hc.charge_exchange_step(&pairs, max_len, total);
         hc.charge_flops(max_len);
     }
 }
@@ -84,12 +84,14 @@ pub fn allreduce<T: Copy>(
         let bit = 1usize << d;
         let mut max_len = 0usize;
         let mut total: u64 = 0;
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
         // Process each pair once: the node with the d-bit clear drives.
         for node in cube.iter_nodes() {
             if node & bit != 0 {
                 continue;
             }
             let partner = node | bit;
+            pairs.push((node, partner));
             assert_eq!(
                 locals[node].len(),
                 locals[partner].len(),
@@ -108,7 +110,7 @@ pub fn allreduce<T: Copy>(
                 *b = combined;
             }
         }
-        hc.charge_message_step(max_len, total);
+        hc.charge_exchange_step(&pairs, max_len, total);
         hc.charge_flops(max_len);
     }
 }
@@ -123,9 +125,8 @@ mod tests {
         let mut hc = unit_machine(4);
         let dims: Vec<u32> = hc.cube().iter_dims().collect();
         let mut locals = labelled_locals(&hc, 3);
-        let expected: Vec<f64> = (0..3)
-            .map(|i| (0..16).map(|n| (n * 1000 + i) as f64).sum())
-            .collect();
+        let expected: Vec<f64> =
+            (0..3).map(|i| (0..16).map(|n| (n * 1000 + i) as f64).sum()).collect();
         reduce(&mut hc, &mut locals, &dims, 0, |a, b| a + b);
         assert_eq!(locals[0], expected);
         for n in 1..16 {
@@ -162,9 +163,8 @@ mod tests {
         let mut hc = unit_machine(4);
         let dims: Vec<u32> = hc.cube().iter_dims().collect();
         let mut locals = labelled_locals(&hc, 2);
-        let expected: Vec<f64> = (0..2)
-            .map(|i| (0..16).map(|n| (n * 1000 + i) as f64).sum())
-            .collect();
+        let expected: Vec<f64> =
+            (0..2).map(|i| (0..16).map(|n| (n * 1000 + i) as f64).sum()).collect();
         allreduce(&mut hc, &mut locals, &dims, |a, b| a + b);
         for n in 0..16 {
             assert_eq!(locals[n], expected, "node {n}");

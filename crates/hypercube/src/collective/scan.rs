@@ -38,12 +38,14 @@ pub fn scan_inclusive<T: Copy>(
         let chan = 1usize << d;
         let mut max_len = 0usize;
         let mut total_elems: u64 = 0;
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
         // Pairwise exchange of totals along dim d.
         for node in cube.iter_nodes() {
             if node & chan != 0 {
                 continue;
             }
             let partner = node | chan;
+            pairs.push((node, partner));
             let len = totals[node].len();
             assert_eq!(len, totals[partner].len(), "scan requires equal buffer lengths");
             max_len = max_len.max(len);
@@ -67,7 +69,7 @@ pub fn scan_inclusive<T: Copy>(
                 locals[partner][i] = op(lo_v, locals[partner][i]);
             }
         }
-        hc.charge_message_step(max_len, total_elems);
+        hc.charge_exchange_step(&pairs, max_len, total_elems);
         hc.charge_flops(2 * max_len);
     }
 }
@@ -99,11 +101,13 @@ pub fn scan_exclusive<T: Copy>(
         let chan = 1usize << d;
         let mut max_len = 0usize;
         let mut total_elems: u64 = 0;
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
         for node in cube.iter_nodes() {
             if node & chan != 0 {
                 continue;
             }
             let partner = node | chan;
+            pairs.push((node, partner));
             let len = totals[node].len();
             assert_eq!(len, totals[partner].len(), "scan requires equal buffer lengths");
             max_len = max_len.max(len);
@@ -122,7 +126,7 @@ pub fn scan_exclusive<T: Copy>(
                 locals[partner][i] = op(lo_v, locals[partner][i]);
             }
         }
-        hc.charge_message_step(max_len, total_elems);
+        hc.charge_exchange_step(&pairs, max_len, total_elems);
         hc.charge_flops(2 * max_len);
     }
 }

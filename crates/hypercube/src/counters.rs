@@ -28,6 +28,20 @@ pub struct Counters {
     pub router_elements: u64,
     /// Router petit cycles consumed (naive baseline only).
     pub router_cycles: u64,
+    /// Transient message drops injected by the fault plan (one per
+    /// affected link per failed transmission round).
+    pub transient_drops: u64,
+    /// Retransmission rounds performed by the resilient path.
+    pub retries: u64,
+    /// Link traversals redirected around a failed (or retry-exhausted)
+    /// link via a detour.
+    pub reroutes: u64,
+    /// Extra store-and-forward hops charged for detours.
+    pub detour_hops: u64,
+    /// Dead-node remaps applied to the machine's host map.
+    pub node_remaps: u64,
+    /// Elements migrated off dead nodes during degradation remaps.
+    pub migrated_elements: u64,
 }
 
 impl Counters {
@@ -36,17 +50,34 @@ impl Counters {
         *self = Counters::default();
     }
 
+    /// A copy of the current tallies, for bracketing a measured region
+    /// (pair with [`Counters::since`]). Never panics.
+    #[must_use]
+    pub fn snapshot(&self) -> Counters {
+        *self
+    }
+
     /// Difference `self - earlier`, for bracketing a measured region.
+    /// Saturates instead of panicking if `earlier` is not actually
+    /// earlier (e.g. snapshots taken across a [`Counters::reset`]).
     #[must_use]
     pub fn since(&self, earlier: &Counters) -> Counters {
         Counters {
-            message_steps: self.message_steps - earlier.message_steps,
-            elements_transferred: self.elements_transferred - earlier.elements_transferred,
+            message_steps: self.message_steps.saturating_sub(earlier.message_steps),
+            elements_transferred: self
+                .elements_transferred
+                .saturating_sub(earlier.elements_transferred),
             max_channel_load: self.max_channel_load.max(earlier.max_channel_load),
-            flops: self.flops - earlier.flops,
-            local_moves: self.local_moves - earlier.local_moves,
-            router_elements: self.router_elements - earlier.router_elements,
-            router_cycles: self.router_cycles - earlier.router_cycles,
+            flops: self.flops.saturating_sub(earlier.flops),
+            local_moves: self.local_moves.saturating_sub(earlier.local_moves),
+            router_elements: self.router_elements.saturating_sub(earlier.router_elements),
+            router_cycles: self.router_cycles.saturating_sub(earlier.router_cycles),
+            transient_drops: self.transient_drops.saturating_sub(earlier.transient_drops),
+            retries: self.retries.saturating_sub(earlier.retries),
+            reroutes: self.reroutes.saturating_sub(earlier.reroutes),
+            detour_hops: self.detour_hops.saturating_sub(earlier.detour_hops),
+            node_remaps: self.node_remaps.saturating_sub(earlier.node_remaps),
+            migrated_elements: self.migrated_elements.saturating_sub(earlier.migrated_elements),
         }
     }
 }
@@ -65,8 +96,10 @@ mod tests {
 
     #[test]
     fn since_subtracts_monotone_fields() {
-        let early = Counters { message_steps: 2, elements_transferred: 10, flops: 5, ..Default::default() };
-        let late = Counters { message_steps: 7, elements_transferred: 30, flops: 9, ..Default::default() };
+        let early =
+            Counters { message_steps: 2, elements_transferred: 10, flops: 5, ..Default::default() };
+        let late =
+            Counters { message_steps: 7, elements_transferred: 30, flops: 9, ..Default::default() };
         let d = late.since(&early);
         assert_eq!(d.message_steps, 5);
         assert_eq!(d.elements_transferred, 20);
@@ -75,8 +108,22 @@ mod tests {
 
     #[test]
     fn reset_clears_everything() {
-        let mut c = Counters { message_steps: 3, router_cycles: 9, ..Default::default() };
+        let mut c =
+            Counters { message_steps: 3, router_cycles: 9, retries: 4, ..Default::default() };
         c.reset();
         assert_eq!(c, Counters::default());
+    }
+
+    #[test]
+    fn snapshot_copies_and_since_saturates() {
+        let c = Counters { message_steps: 3, transient_drops: 2, ..Default::default() };
+        let snap = c.snapshot();
+        assert_eq!(snap, c);
+        // A snapshot taken before a reset is "later" than the live
+        // counters; since() must not panic on the underflow.
+        let fresh = Counters::default();
+        let d = fresh.since(&snap);
+        assert_eq!(d.message_steps, 0);
+        assert_eq!(d.transient_drops, 0);
     }
 }

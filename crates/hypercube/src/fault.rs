@@ -1,0 +1,294 @@
+//! Deterministic fault injection for the simulated machine.
+//!
+//! A [`FaultPlan`] describes *what goes wrong and when*: permanent link
+//! failures, permanent node failures (each with an activation step), and
+//! a transient message-drop process over a step window. "When" is
+//! measured on the **fault clock** — the machine's cumulative count of
+//! blocked message supersteps ([`crate::counters::Counters::message_steps`]) —
+//! so a plan replays identically for a given program, cost model and
+//! seed: every fault decision is a pure hash of
+//! `(seed, step, canonical link, attempt)` with no hidden state.
+//!
+//! A [`ResilientConfig`] describes *what the machine does about it*:
+//! how failures are detected, how many bounded-exponential-backoff
+//! retransmissions are attempted for transient drops, before traffic is
+//! escalated to a detour around the link (charged as extra hops). The
+//! recovery machinery only affects the modeled clock and counters; the
+//! simulator still really moves the data, so results under any
+//! recoverable plan are bit-identical to the fault-free run — which is
+//! exactly what the chaos tests assert.
+
+use crate::topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A permanent failure of the channel between two neighbouring nodes,
+/// active from `from_step` (fault clock) onward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkFault {
+    /// One endpoint (order does not matter; links are canonicalized).
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// First fault-clock step at which the link is dead.
+    pub from_step: u64,
+}
+
+/// A permanent failure of a whole node, active from `from_step` onward.
+///
+/// The machine does not act on node faults by itself: the layout layer
+/// reacts by concentrating the dead node's block onto a healthy
+/// neighbour (see the `vmp-layout` degradation module), after which the
+/// machine's host map makes the dead node's traffic local to its host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeFault {
+    /// The failing node.
+    pub node: NodeId,
+    /// First fault-clock step at which the node is dead.
+    pub from_step: u64,
+}
+
+/// A seeded, deterministic schedule of injected faults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for all pseudo-random fault decisions.
+    pub seed: u64,
+    /// Permanent link failures.
+    pub link_faults: Vec<LinkFault>,
+    /// Permanent node failures.
+    pub node_faults: Vec<NodeFault>,
+    /// Per-(link, step, attempt) probability of a transient message drop
+    /// in `[0, 1]`.
+    pub drop_rate: f64,
+    /// First fault-clock step of the transient-drop window.
+    pub drop_from_step: u64,
+    /// One past the last step of the transient-drop window
+    /// (`u64::MAX` = open-ended).
+    pub drop_until_step: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the seed is kept for reproducibility
+    /// bookkeeping only).
+    #[must_use]
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            link_faults: Vec::new(),
+            node_faults: Vec::new(),
+            drop_rate: 0.0,
+            drop_from_step: 0,
+            drop_until_step: u64::MAX,
+        }
+    }
+
+    /// Add a permanent link failure (builder style).
+    #[must_use]
+    pub fn with_link_fault(mut self, a: NodeId, b: NodeId, from_step: u64) -> Self {
+        self.link_faults.push(LinkFault { a, b, from_step });
+        self
+    }
+
+    /// Add a permanent node failure (builder style).
+    #[must_use]
+    pub fn with_node_fault(mut self, node: NodeId, from_step: u64) -> Self {
+        self.node_faults.push(NodeFault { node, from_step });
+        self
+    }
+
+    /// Enable transient drops at `rate` over fault-clock steps
+    /// `[from_step, until_step)` (builder style).
+    ///
+    /// # Panics
+    /// Panics unless `0 <= rate <= 1`.
+    #[must_use]
+    pub fn with_drops(mut self, rate: f64, from_step: u64, until_step: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "drop rate must be in [0, 1]");
+        self.drop_rate = rate;
+        self.drop_from_step = from_step;
+        self.drop_until_step = until_step;
+        self
+    }
+
+    /// Whether the plan injects no faults at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.link_faults.is_empty() && self.node_faults.is_empty() && self.drop_rate == 0.0
+    }
+
+    /// Is the link `{a, b}` permanently dead at fault-clock `step`?
+    #[must_use]
+    pub fn link_dead(&self, a: NodeId, b: NodeId, step: u64) -> bool {
+        let (lo, hi) = canonical(a, b);
+        self.link_faults.iter().any(|f| canonical(f.a, f.b) == (lo, hi) && step >= f.from_step)
+    }
+
+    /// Is `node` permanently dead at fault-clock `step`?
+    #[must_use]
+    pub fn node_dead(&self, node: NodeId, step: u64) -> bool {
+        self.node_faults.iter().any(|f| f.node == node && step >= f.from_step)
+    }
+
+    /// Nodes that are dead at fault-clock `step`.
+    #[must_use]
+    pub fn dead_nodes_at(&self, step: u64) -> Vec<NodeId> {
+        let mut dead: Vec<NodeId> =
+            self.node_faults.iter().filter(|f| step >= f.from_step).map(|f| f.node).collect();
+        dead.sort_unstable();
+        dead.dedup();
+        dead
+    }
+
+    /// Does the message on link `{a, b}` at fault-clock `step` get
+    /// dropped on transmission `attempt` (0 = first try)?
+    ///
+    /// Pure function of `(seed, step, link, attempt)` — replays
+    /// identically and is independent across links, steps and attempts.
+    #[must_use]
+    pub fn transient_drop(&self, a: NodeId, b: NodeId, step: u64, attempt: u32) -> bool {
+        if self.drop_rate <= 0.0 || step < self.drop_from_step || step >= self.drop_until_step {
+            return false;
+        }
+        let (lo, hi) = canonical(a, b);
+        let h = mix(self.seed, step, (lo as u64) << 32 | hi as u64, u64::from(attempt));
+        // Top 53 bits give a uniform draw in [0, 1).
+        let draw = (h >> 11) as f64 / (1u64 << 53) as f64;
+        draw < self.drop_rate
+    }
+}
+
+/// How the receiver detects a failed transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Detect {
+    /// End-to-end checksum verified as the message arrives: a drop is
+    /// known at the end of the superstep, so retransmission starts
+    /// immediately (no extra detection latency beyond the backoff).
+    Checksum,
+    /// Timeout-based detection: each failed round additionally costs the
+    /// given latency before the retransmission can start.
+    Timeout {
+        /// Detection latency per failed round, in microseconds.
+        us: f64,
+    },
+}
+
+/// Recovery policy for the machine's resilient communication path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResilientConfig {
+    /// Maximum retransmissions of a dropped message before the traffic
+    /// is escalated to a detour around the link.
+    pub max_retries: u32,
+    /// Base backoff before the first retransmission, in microseconds;
+    /// round `r` waits `backoff_us * 2^r` (bounded exponential backoff).
+    pub backoff_us: f64,
+    /// Failure-detection mechanism.
+    pub detect: Detect,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> Self {
+        ResilientConfig { max_retries: 4, backoff_us: 1.0, detect: Detect::Checksum }
+    }
+}
+
+impl ResilientConfig {
+    /// Detection latency added to each failed round, in microseconds.
+    #[must_use]
+    pub fn detect_latency_us(&self) -> f64 {
+        match self.detect {
+            Detect::Checksum => 0.0,
+            Detect::Timeout { us } => us,
+        }
+    }
+}
+
+/// Canonical (unordered) form of a link.
+#[inline]
+fn canonical(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    (a.min(b), a.max(b))
+}
+
+/// splitmix64-style stateless mixer over the fault decision inputs.
+fn mix(seed: u64, step: u64, link: u64, attempt: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(step.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(link.wrapping_mul(0x94D0_49BB_1331_11EB))
+        .wrapping_add(attempt.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::none(42);
+        assert!(plan.is_empty());
+        assert!(!plan.link_dead(0, 1, 0));
+        assert!(!plan.node_dead(3, 1000));
+        assert!(!plan.transient_drop(0, 1, 5, 0));
+    }
+
+    #[test]
+    fn link_fault_respects_activation_step_and_orientation() {
+        let plan = FaultPlan::none(1).with_link_fault(5, 4, 10);
+        assert!(!plan.link_dead(4, 5, 9), "inactive before from_step");
+        assert!(plan.link_dead(4, 5, 10));
+        assert!(plan.link_dead(5, 4, 11), "orientation-independent");
+        assert!(!plan.link_dead(4, 6, 10), "other links unaffected");
+    }
+
+    #[test]
+    fn node_fault_schedule() {
+        let plan = FaultPlan::none(1).with_node_fault(7, 3).with_node_fault(2, 8);
+        assert!(!plan.node_dead(7, 2));
+        assert!(plan.node_dead(7, 3));
+        assert_eq!(plan.dead_nodes_at(2), vec![]);
+        assert_eq!(plan.dead_nodes_at(5), vec![7]);
+        assert_eq!(plan.dead_nodes_at(8), vec![2, 7]);
+    }
+
+    #[test]
+    fn transient_drops_are_deterministic_and_windowed() {
+        let plan = FaultPlan::none(99).with_drops(0.5, 10, 20);
+        for step in 0..40u64 {
+            for attempt in 0..3u32 {
+                let d1 = plan.transient_drop(1, 3, step, attempt);
+                let d2 = plan.transient_drop(3, 1, step, attempt);
+                assert_eq!(d1, d2, "orientation-independent");
+                if !(10..20).contains(&step) {
+                    assert!(!d1, "outside window");
+                }
+            }
+        }
+        // At rate 0.5 over 10 steps x several links, some drop and some don't.
+        let drops: usize = (10..20u64)
+            .flat_map(|s| (0..4usize).map(move |l| (s, l)))
+            .filter(|&(s, l)| plan.transient_drop(l, l + 1, s, 0))
+            .count();
+        assert!(drops > 0 && drops < 40, "rate 0.5 is neither 0 nor 1 ({drops}/40)");
+    }
+
+    #[test]
+    fn drop_decisions_vary_with_attempt() {
+        // A retry must get an independent draw, else retransmission
+        // could never succeed on a dropped link.
+        let plan = FaultPlan::none(7).with_drops(0.5, 0, u64::MAX);
+        let varied = (0..64u64)
+            .any(|step| plan.transient_drop(0, 1, step, 0) != plan.transient_drop(0, 1, step, 1));
+        assert!(varied);
+    }
+
+    #[test]
+    fn default_config_is_bounded_checksum_retry() {
+        let cfg = ResilientConfig::default();
+        assert_eq!(cfg.max_retries, 4);
+        assert_eq!(cfg.detect, Detect::Checksum);
+        assert_eq!(cfg.detect_latency_us(), 0.0);
+        let t = ResilientConfig { detect: Detect::Timeout { us: 5.0 }, ..cfg };
+        assert_eq!(t.detect_latency_us(), 5.0);
+    }
+}

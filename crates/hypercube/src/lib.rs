@@ -12,6 +12,9 @@
 //!   iPSC/1 presets) used throughout the contemporaneous literature;
 //! * [`machine`] — the [`machine::Hypercube`] simulator: a BSP-style
 //!   clock and event counters over caller-owned per-processor buffers;
+//! * [`fault`] — seeded deterministic fault plans (link/node failures,
+//!   transient drops) and the bounded-retry/reroute recovery policy the
+//!   machine applies when one is installed;
 //! * [`collective`] — broadcast / reduce / allreduce / scan / gather /
 //!   scatter / allgather / all-to-all on arbitrary subcube dimension
 //!   subsets (rows and columns of a processor grid);
@@ -32,6 +35,7 @@ pub mod collective;
 pub mod cost;
 pub mod counters;
 pub mod dimperm;
+pub mod fault;
 pub mod gray;
 pub mod machine;
 pub mod route;
@@ -41,5 +45,6 @@ pub mod topology;
 
 pub use cost::{CostModel, PortModel};
 pub use counters::Counters;
+pub use fault::{Detect, FaultPlan, LinkFault, NodeFault, ResilientConfig};
 pub use machine::Hypercube;
 pub use topology::{Cube, NodeId};

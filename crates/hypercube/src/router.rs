@@ -258,8 +258,8 @@ mod tests {
         // one overhead per element and cycles per element-hop.
         use crate::route::{route_blocks, Block};
         let k = 64usize; // elements per node
-        // Use the CM-2 preset: the naive penalty is the per-element router
-        // overhead, which the unit model deliberately understates.
+                         // Use the CM-2 preset: the naive penalty is the per-element router
+                         // overhead, which the unit model deliberately understates.
         let mut hc_blocked = Hypercube::new(5, CostModel::cm2());
         let p = hc_blocked.p();
         let mask = p - 1;

@@ -185,7 +185,11 @@ fn reduce_scatter<T: Copy>(
         for node in cube.iter_nodes() {
             match len {
                 None => len = Some(locals[node].len()),
-                Some(l) => assert_eq!(l, locals[node].len(), "reduce-scatter requires equal buffer lengths"),
+                Some(l) => assert_eq!(
+                    l,
+                    locals[node].len(),
+                    "reduce-scatter requires equal buffer lengths"
+                ),
             }
         }
         len.unwrap_or(0)
@@ -210,7 +214,8 @@ fn reduce_scatter<T: Copy>(
             let (lo_part, hi_part) = locals.split_at_mut(partner);
             let a = &mut lo_part[node]; // covers [lo, hi) locally
             let b = &mut hi_part[0];
-            let seg = |v: &Vec<T>, from: usize, to: usize| -> Vec<T> { v[from - lo..to - lo].to_vec() };
+            let seg =
+                |v: &Vec<T>, from: usize, to: usize| -> Vec<T> { v[from - lo..to - lo].to_vec() };
             let a_low = seg(a, lo, mid);
             let a_high = seg(a, mid, hi);
             let b_low = seg(b, lo, mid);
@@ -338,7 +343,8 @@ mod tests {
     fn reduce_scatter_gather_matches_binomial_reduce() {
         let mut hc1 = machine(4);
         let dims: Vec<u32> = hc1.cube().iter_dims().collect();
-        let make = |hc: &Hypercube| hc.locals_from_fn(|n| (0..33).map(|i| (n * 100 + i) as f64).collect());
+        let make =
+            |hc: &Hypercube| hc.locals_from_fn(|n| (0..33).map(|i| (n * 100 + i) as f64).collect());
         let mut a = make(&hc1);
         reduce_scatter_gather(&mut hc1, &mut a, &dims, |x, y| x + y);
 
@@ -356,7 +362,9 @@ mod tests {
     fn rabenseifner_allreduce_matches_butterfly() {
         let mut hc1 = machine(3);
         let dims: Vec<u32> = hc1.cube().iter_dims().collect();
-        let make = |hc: &Hypercube| hc.locals_from_fn(|n| (0..17).map(|i| ((n + 1) * (i + 1)) as f64).collect());
+        let make = |hc: &Hypercube| {
+            hc.locals_from_fn(|n| (0..17).map(|i| ((n + 1) * (i + 1)) as f64).collect())
+        };
         let mut a = make(&hc1);
         allreduce_rabenseifner(&mut hc1, &mut a, &dims, |x, y| x + y);
 

@@ -35,11 +35,7 @@ impl Cube {
     /// Panics if `dim > Self::MAX_DIM`.
     #[must_use]
     pub fn new(dim: u32) -> Self {
-        assert!(
-            dim <= Self::MAX_DIM,
-            "cube dimension {dim} exceeds maximum {}",
-            Self::MAX_DIM
-        );
+        assert!(dim <= Self::MAX_DIM, "cube dimension {dim} exceeds maximum {}", Self::MAX_DIM);
         Cube { dim }
     }
 
@@ -158,7 +154,11 @@ impl Cube {
     /// contains `anchor` (i.e. vary exactly the bits in `dims`, keep the
     /// rest as in `anchor`). Yields `2^{|dims|}` nodes, `anchor`'s
     /// subcube-local coordinate order.
-    pub fn subcube_nodes<'a>(self, anchor: NodeId, dims: &'a [u32]) -> impl Iterator<Item = NodeId> + 'a {
+    pub fn subcube_nodes<'a>(
+        self,
+        anchor: NodeId,
+        dims: &'a [u32],
+    ) -> impl Iterator<Item = NodeId> + 'a {
         let base = {
             let mut b = anchor;
             for &d in dims {

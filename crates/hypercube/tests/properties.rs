@@ -17,9 +17,8 @@ fn machine(dim: u32) -> Hypercube {
 
 /// A strategy for a dimension subset of a `dim`-cube, as a bitmask.
 fn dims_strategy(dim: u32) -> impl Strategy<Value = Vec<u32>> {
-    (0u32..(1 << dim.max(1))).prop_map(move |mask| {
-        (0..dim).filter(|&d| (mask >> d) & 1 == 1).collect()
-    })
+    (0u32..(1 << dim.max(1)))
+        .prop_map(move |mask| (0..dim).filter(|&d| (mask >> d) & 1 == 1).collect())
 }
 
 proptest! {

@@ -1,0 +1,194 @@
+//! Graceful-degradation embeddings: concentrating dead nodes' blocks
+//! onto healthy subcube neighbours.
+//!
+//! When a node fails, the machine keeps running at reduced capacity by
+//! *re-embedding*: the failed node's block of every distributed object
+//! moves one hop to a healthy neighbour, which thereafter simulates
+//! both logical nodes (time-multiplexed, so local compute serializes by
+//! the host's multiplicity). This is the same idea as the paper's
+//! embeddings being machine-size independent — the logical cube the
+//! primitives address never changes; only the logical→physical host map
+//! does. [`DegradedMap`] is that map, as pure address arithmetic; the
+//! `vmp-core` degradation module applies it to a machine and charges
+//! the migration.
+
+use serde::{Deserialize, Serialize};
+use vmp_hypercube::topology::{Cube, NodeId};
+
+/// A logical→physical host map concentrating each dead node onto a
+/// healthy cube neighbour.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradedMap {
+    dim: u32,
+    /// `host[logical] = physical`; identity for healthy nodes.
+    host: Vec<NodeId>,
+    /// Dead nodes, ascending.
+    dead: Vec<NodeId>,
+}
+
+impl DegradedMap {
+    /// Build the map for `dead` nodes on `cube`: each dead node is
+    /// hosted by the healthy neighbour with the lightest load so far
+    /// (ties broken toward the lowest cube dimension), scanning dead
+    /// nodes in ascending order — a deterministic embedding.
+    ///
+    /// # Panics
+    /// Panics if a dead node has no healthy neighbour (the plan is not
+    /// recoverable by single-hop concentration), if every node is dead,
+    /// or if a dead node id is out of range.
+    #[must_use]
+    pub fn concentrate(cube: Cube, dead: &[NodeId]) -> Self {
+        let p = cube.nodes();
+        let mut is_dead = vec![false; p];
+        for &n in dead {
+            assert!(cube.contains(n), "dead node {n} out of range");
+            is_dead[n] = true;
+        }
+        let mut dead_sorted: Vec<NodeId> = dead.to_vec();
+        dead_sorted.sort_unstable();
+        dead_sorted.dedup();
+        assert!(dead_sorted.len() < p, "every node is dead");
+
+        let mut host: Vec<NodeId> = (0..p).collect();
+        let mut mult = vec![1usize; p];
+        for &n in &dead_sorted {
+            mult[n] = 0;
+        }
+        for &n in &dead_sorted {
+            let chosen = cube
+                .iter_dims()
+                .map(|d| cube.neighbor(n, d))
+                .filter(|&nb| !is_dead[nb])
+                .min_by_key(|&nb| mult[nb])
+                .unwrap_or_else(|| panic!("dead node {n} has no healthy neighbour"));
+            host[n] = chosen;
+            mult[chosen] += 1;
+        }
+        DegradedMap { dim: cube.dim(), host, dead: dead_sorted }
+    }
+
+    /// The identity map (no dead nodes) on `cube`.
+    #[must_use]
+    pub fn identity(cube: Cube) -> Self {
+        DegradedMap { dim: cube.dim(), host: (0..cube.nodes()).collect(), dead: Vec::new() }
+    }
+
+    /// The cube this map is over.
+    #[must_use]
+    pub fn cube(&self) -> Cube {
+        Cube::new(self.dim)
+    }
+
+    /// Physical host of `logical`.
+    ///
+    /// # Panics
+    /// Panics if `logical` is out of range.
+    #[must_use]
+    pub fn host_of(&self, logical: NodeId) -> NodeId {
+        self.host[logical]
+    }
+
+    /// Is `node` dead under this map?
+    #[must_use]
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.dead.binary_search(&node).is_ok()
+    }
+
+    /// The dead nodes, ascending.
+    #[must_use]
+    pub fn dead(&self) -> &[NodeId] {
+        &self.dead
+    }
+
+    /// `(dead, host)` migration pairs, in ascending dead-node order.
+    #[must_use]
+    pub fn migration_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        self.dead.iter().map(|&n| (n, self.host[n])).collect()
+    }
+
+    /// Max logical nodes per physical host (1 = healthy machine).
+    #[must_use]
+    pub fn load_factor(&self) -> usize {
+        let mut mult = vec![0usize; self.host.len()];
+        for &h in &self.host {
+            mult[h] += 1;
+        }
+        mult.into_iter().max().unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_map_is_clean() {
+        let m = DegradedMap::identity(Cube::new(3));
+        assert_eq!(m.load_factor(), 1);
+        assert!(m.migration_pairs().is_empty());
+        assert!(!m.is_dead(5));
+        assert_eq!(m.host_of(5), 5);
+    }
+
+    #[test]
+    fn single_dead_node_concentrates_on_a_neighbour() {
+        let cube = Cube::new(4);
+        let m = DegradedMap::concentrate(cube, &[6]);
+        assert!(m.is_dead(6));
+        let h = m.host_of(6);
+        assert_ne!(h, 6);
+        assert_eq!(cube.distance(6, h), 1, "host is a cube neighbour");
+        assert_eq!(m.load_factor(), 2);
+        assert_eq!(m.migration_pairs(), vec![(6, h)]);
+        // Healthy nodes keep their identity.
+        for n in 0..16 {
+            if n != 6 {
+                assert_eq!(m.host_of(n), n);
+            }
+        }
+    }
+
+    #[test]
+    fn hosts_balance_across_neighbours() {
+        // Two dead nodes sharing neighbours must not pile onto one host
+        // when a lighter one is available.
+        let cube = Cube::new(3);
+        let m = DegradedMap::concentrate(cube, &[0, 3]);
+        assert_eq!(m.load_factor(), 2, "no host takes two dead nodes here");
+        assert_ne!(m.host_of(0), m.host_of(3));
+    }
+
+    #[test]
+    fn dead_neighbours_are_skipped() {
+        // 0's dim-0 neighbour (1) is dead too; 0 must pick a live host.
+        let cube = Cube::new(3);
+        let m = DegradedMap::concentrate(cube, &[0, 1]);
+        assert!(!m.is_dead(m.host_of(0)));
+        assert!(!m.is_dead(m.host_of(1)));
+        assert_eq!(cube.distance(0, m.host_of(0)), 1);
+    }
+
+    #[test]
+    fn deterministic_regardless_of_input_order() {
+        let cube = Cube::new(4);
+        let a = DegradedMap::concentrate(cube, &[3, 9, 12]);
+        let b = DegradedMap::concentrate(cube, &[12, 3, 9]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "no healthy neighbour")]
+    fn isolated_dead_node_panics() {
+        // Node 0's neighbours on a 2-cube are 1 and 2 — both dead, so
+        // single-hop concentration cannot recover.
+        let cube = Cube::new(2);
+        let _ = DegradedMap::concentrate(cube, &[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "every node is dead")]
+    fn fully_dead_cube_panics() {
+        let cube = Cube::new(1);
+        let _ = DegradedMap::concentrate(cube, &[0, 1]);
+    }
+}

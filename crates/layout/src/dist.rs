@@ -328,7 +328,10 @@ mod tests {
                                     })
                                     .collect();
                                 let got: Vec<usize> = range.collect();
-                                assert_eq!(got, expect, "{kind:?} n={n} k={k} part={part} [{lo},{hi})");
+                                assert_eq!(
+                                    got, expect,
+                                    "{kind:?} n={n} k={k} part={part} [{lo},{hi})"
+                                );
                             }
                         }
                     }

@@ -52,12 +52,7 @@ impl ProcGrid {
         let d = cube.dim();
         assert!(dr <= d, "row dimension {dr} exceeds cube dimension {d}");
         let dc = d - dr;
-        ProcGrid {
-            dim: d,
-            col_dims: (0..dc).collect(),
-            row_dims: (dc..d).collect(),
-            encoding,
-        }
+        ProcGrid { dim: d, col_dims: (0..dc).collect(), row_dims: (dc..d).collect(), encoding }
     }
 
     /// The squarest grid on `cube`: `ceil(d/2)` row dims.

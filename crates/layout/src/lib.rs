@@ -12,16 +12,20 @@
 //! * [`matrix`] — the matrix embedding ([`MatrixLayout`]);
 //! * [`vector`] — vector embeddings ([`VectorLayout`]): axis-aligned
 //!   (replicated or concentrated) and linear, the states between which
-//!   the paper's primitives move vectors.
+//!   the paper's primitives move vectors;
+//! * [`degrade`] — graceful-degradation host maps ([`DegradedMap`])
+//!   concentrating dead nodes' blocks onto healthy subcube neighbours.
 
 #![warn(missing_docs)]
 
+pub mod degrade;
 pub mod dist;
 pub mod grid;
 pub mod matrix;
 pub mod shape;
 pub mod vector;
 
+pub use degrade::DegradedMap;
 pub use dist::{AxisDist, Dist};
 pub use grid::{GridEncoding, ProcGrid};
 pub use matrix::MatrixLayout;

@@ -136,11 +136,7 @@ impl MatrixLayout {
         let lc = self.cols.count(gc);
         (0..lr).flat_map(move |li| {
             (0..lc).map(move |lj| {
-                (
-                    self.rows.global_index(gr, li),
-                    self.cols.global_index(gc, lj),
-                    li * lc + lj,
-                )
+                (self.rows.global_index(gr, li), self.cols.global_index(gc, lj), li * lc + lj)
             })
         })
     }
@@ -149,7 +145,8 @@ impl MatrixLayout {
     /// rows and columns swap roles, as do the axis distributions.
     #[must_use]
     pub fn transposed(&self) -> MatrixLayout {
-        let grid_t = ProcGrid::with_encoding(self.grid.cube(), self.grid.dc(), self.grid.encoding());
+        let grid_t =
+            ProcGrid::with_encoding(self.grid.cube(), self.grid.dc(), self.grid.encoding());
         MatrixLayout {
             shape: self.shape.transpose(),
             grid: grid_t,
@@ -165,18 +162,15 @@ mod tests {
     use vmp_hypercube::topology::Cube;
 
     fn layout(rows: usize, cols: usize, dim: u32, dr: u32, kind: Dist) -> MatrixLayout {
-        MatrixLayout::new(
-            MatShape::new(rows, cols),
-            ProcGrid::new(Cube::new(dim), dr),
-            kind,
-            kind,
-        )
+        MatrixLayout::new(MatShape::new(rows, cols), ProcGrid::new(Cube::new(dim), dr), kind, kind)
     }
 
     #[test]
     fn every_element_has_exactly_one_home() {
         for kind in [Dist::Block, Dist::Cyclic] {
-            for (r, c, dim, dr) in [(8usize, 8usize, 4u32, 2u32), (7, 13, 4, 1), (5, 3, 3, 2), (16, 4, 2, 2)] {
+            for (r, c, dim, dr) in
+                [(8usize, 8usize, 4u32, 2u32), (7, 13, 4, 1), (5, 3, 3, 2), (16, 4, 2, 2)]
+            {
                 let l = layout(r, c, dim, dr, kind);
                 let mut hit = vec![vec![false; l.local_len(0).max(64)]; l.grid().p()];
                 for (node, flags) in hit.iter_mut().enumerate() {

@@ -222,7 +222,8 @@ mod tests {
 
     #[test]
     fn concentrated_row_vector_lives_on_one_grid_row() {
-        let l = VectorLayout::aligned(10, grid(), Axis::Row, Placement::Concentrated(2), Dist::Block);
+        let l =
+            VectorLayout::aligned(10, grid(), Axis::Row, Placement::Concentrated(2), Dist::Block);
         let held: Vec<NodeId> = (0..16).filter(|&n| l.holds(n)).collect();
         assert_eq!(held.len(), 4);
         for &n in &held {
@@ -293,6 +294,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "concentration line")]
     fn bad_concentration_line_panics() {
-        let _ = VectorLayout::aligned(8, grid(), Axis::Row, Placement::Concentrated(4), Dist::Block);
+        let _ =
+            VectorLayout::aligned(8, grid(), Axis::Row, Placement::Concentrated(4), Dist::Block);
     }
 }

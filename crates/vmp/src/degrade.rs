@@ -1,0 +1,143 @@
+//! Applying graceful degradation to a machine.
+//!
+//! [`vmp_layout::DegradedMap`] is the address arithmetic (which healthy
+//! neighbour hosts each dead node); this module performs the remap on a
+//! [`Hypercube`]: it charges the one-hop migration of every dead node's
+//! resident elements to its host, records the migrated volume, and
+//! installs the host map so that subsequent traffic between co-hosted
+//! logical nodes is local and local compute serializes by the host
+//! multiplicity. The logical cube the primitives address never changes,
+//! so every primitive keeps producing bit-identical results at reduced
+//! physical capacity — the tests below assert exactly that.
+
+use vmp_hypercube::machine::Hypercube;
+use vmp_hypercube::NodeId;
+use vmp_layout::DegradedMap;
+
+/// Apply single-hop concentration for `dead` nodes on `hc`.
+///
+/// `resident_elements[n]` is the number of elements currently resident
+/// on logical node `n` across all live distributed objects (sum of
+/// their local buffer lengths) — the volume that must physically move
+/// to the host. All migrations travel disjoint neighbour links, so the
+/// move is charged as one blocked message superstep of the largest
+/// block, and the volume is recorded under the `migrated_elements`
+/// counter.
+///
+/// Returns the map so callers can reason about the new embedding.
+///
+/// # Panics
+/// Panics if `resident_elements.len() != hc.p()` or the dead set is not
+/// recoverable by single-hop concentration (see
+/// [`DegradedMap::concentrate`]).
+pub fn apply_degradation(
+    hc: &mut Hypercube,
+    dead: &[NodeId],
+    resident_elements: &[usize],
+) -> DegradedMap {
+    assert_eq!(resident_elements.len(), hc.p(), "one resident size per node expected");
+    let map = DegradedMap::concentrate(hc.cube(), dead);
+    let pairs = map.migration_pairs();
+
+    let mut max_block = 0usize;
+    let mut total: u64 = 0;
+    for &(dead_node, _host) in &pairs {
+        let len = resident_elements[dead_node];
+        max_block = max_block.max(len);
+        total += len as u64;
+    }
+    if total > 0 {
+        // One hop each, disjoint links, all in parallel.
+        hc.charge_message_step(max_block, total);
+    }
+    hc.note_migration(total);
+    for &(dead_node, host) in &pairs {
+        hc.remap_node(dead_node, host);
+    }
+    map
+}
+
+/// Per-node resident element counts of one buffer set; add several
+/// calls together to cover all live objects.
+#[must_use]
+pub fn resident_sizes<T>(locals: &[Vec<T>]) -> Vec<usize> {
+    locals.iter().map(Vec::len).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elem::Sum;
+    use crate::matrix::DistMatrix;
+    use crate::primitives::{distribute, extract, insert, reduce};
+    use vmp_hypercube::cost::CostModel;
+    use vmp_layout::{Axis, Dist, MatShape, MatrixLayout, ProcGrid};
+
+    type Results = (Vec<f64>, Vec<f64>, Vec<Vec<f64>>, Vec<Vec<f64>>);
+
+    fn machine(dim: u32) -> Hypercube {
+        Hypercube::new(dim, CostModel::unit())
+    }
+
+    fn sample_matrix(hc: &Hypercube) -> DistMatrix<f64> {
+        let layout = MatrixLayout::new(
+            MatShape::new(9, 7),
+            ProcGrid::square(hc.cube()),
+            Dist::Cyclic,
+            Dist::Cyclic,
+        );
+        DistMatrix::from_fn(layout, |i, j| ((i * 31 + j * 17) as f64).sin())
+    }
+
+    /// The workload whose results must survive degradation bit-exactly:
+    /// all four primitives, chained.
+    fn run_primitives(hc: &mut Hypercube, m: &DistMatrix<f64>) -> Results {
+        let colsum = reduce(hc, m, Axis::Row, Sum);
+        let row3 = extract(hc, m, Axis::Row, 3);
+        let mut m2 = m.clone();
+        insert(hc, &mut m2, Axis::Row, 1, &row3);
+        let stacked = distribute(hc, &row3, 4, Dist::Cyclic);
+        (colsum.to_dense(), row3.to_dense(), m2.to_dense(), stacked.to_dense())
+    }
+
+    #[test]
+    fn primitives_bit_identical_under_degradation() {
+        let mut healthy = machine(4);
+        let m_h = sample_matrix(&healthy);
+        let want = run_primitives(&mut healthy, &m_h);
+
+        let mut degraded = machine(4);
+        let m_d = sample_matrix(&degraded);
+        let map = apply_degradation(&mut degraded, &[5], &resident_sizes(m_d.locals()));
+        assert_eq!(map.load_factor(), 2);
+        let got = run_primitives(&mut degraded, &m_d);
+
+        assert_eq!(want, got, "degraded run must be bit-identical");
+        assert_eq!(degraded.counters().node_remaps, 1);
+        assert!(degraded.counters().migrated_elements > 0, "node 5 held data");
+        // The doubled-up host serializes compute: strictly slower.
+        assert!(degraded.elapsed_us() > healthy.elapsed_us());
+    }
+
+    #[test]
+    fn degradation_with_empty_node_is_free_traffic() {
+        let mut hc = machine(2);
+        // No resident data anywhere: remap alone, no migration charge.
+        let map = apply_degradation(&mut hc, &[3], &[0, 0, 0, 0]);
+        assert_eq!(hc.counters().migrated_elements, 0);
+        assert_eq!(hc.counters().message_steps, 0);
+        assert_eq!(hc.counters().node_remaps, 1);
+        assert_eq!(hc.host_of(3), map.host_of(3));
+    }
+
+    #[test]
+    fn migration_volume_matches_dead_nodes_blocks() {
+        let mut hc = machine(3);
+        let m = sample_matrix(&hc);
+        let sizes = resident_sizes(m.locals());
+        let expect: u64 = (sizes[2] + sizes[6]) as u64;
+        apply_degradation(&mut hc, &[2, 6], &sizes);
+        assert_eq!(hc.counters().migrated_elements, expect);
+        assert_eq!(hc.counters().node_remaps, 2);
+    }
+}

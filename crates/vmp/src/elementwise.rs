@@ -64,11 +64,7 @@ impl<T: Scalar> DistMatrix<T> {
         other: &DistMatrix<U>,
         f: impl Fn(T, U) -> V + Sync,
     ) -> DistMatrix<V> {
-        assert_eq!(
-            self.layout(),
-            other.layout(),
-            "elementwise operands must share a layout"
-        );
+        assert_eq!(self.layout(), other.layout(), "elementwise operands must share a layout");
         let layout = self.layout().clone();
         let p = layout.grid().p();
         let work = layout.max_local_len().saturating_mul(p);
@@ -100,9 +96,8 @@ impl<T: Scalar> DistMatrix<T> {
     ) -> DistMatrix<V> {
         self.check_axis_aligned(axis, v);
         let layout = self.layout().clone();
-        let cols_per_node: Vec<usize> = (0..layout.grid().p())
-            .map(|node| layout.local_shape(node).1)
-            .collect();
+        let cols_per_node: Vec<usize> =
+            (0..layout.grid().p()).map(|node| layout.local_shape(node).1).collect();
         let mut out: Vec<Vec<V>> = Vec::with_capacity(self.locals().len());
         for (node, buf) in self.locals().iter().enumerate() {
             let chunk = &v.locals()[node];
@@ -321,8 +316,7 @@ mod tests {
 
     fn setup(rows: usize, cols: usize) -> (Hypercube, MatrixLayout) {
         let grid = ProcGrid::new(Cube::new(4), 2);
-        let layout =
-            MatrixLayout::new(MatShape::new(rows, cols), grid, Dist::Cyclic, Dist::Cyclic);
+        let layout = MatrixLayout::new(MatShape::new(rows, cols), grid, Dist::Cyclic, Dist::Cyclic);
         (Hypercube::new(4, CostModel::unit()), layout)
     }
 
@@ -440,8 +434,20 @@ mod tests {
             let mut hc = Hypercube::new(4, CostModel::unit());
             let mut m = DistMatrix::from_fn(layout.clone(), |i, j| (i * 9 + j) as f64);
             let mut expect = m.to_dense();
-            let col_l = VectorLayout::aligned(9, layout.grid().clone(), Axis::Col, Placement::Replicated, kind);
-            let row_l = VectorLayout::aligned(9, layout.grid().clone(), Axis::Row, Placement::Replicated, kind);
+            let col_l = VectorLayout::aligned(
+                9,
+                layout.grid().clone(),
+                Axis::Col,
+                Placement::Replicated,
+                kind,
+            );
+            let row_l = VectorLayout::aligned(
+                9,
+                layout.grid().clone(),
+                Axis::Row,
+                Placement::Replicated,
+                kind,
+            );
             let col = DistVector::from_fn(col_l, |i| (i + 1) as f64);
             let row = DistVector::from_fn(row_l, |j| (j + 2) as f64);
             m.rank1_update_ranged(&mut hc, &col, &row, 3..7, 2..9, |_, _, a, c, r| a - c * r);
@@ -460,8 +466,20 @@ mod tests {
     fn ranged_update_charges_less_than_full() {
         let grid = ProcGrid::new(Cube::new(4), 2);
         let layout = MatrixLayout::new(MatShape::new(16, 16), grid, Dist::Cyclic, Dist::Cyclic);
-        let col_l = VectorLayout::aligned(16, layout.grid().clone(), Axis::Col, Placement::Replicated, Dist::Cyclic);
-        let row_l = VectorLayout::aligned(16, layout.grid().clone(), Axis::Row, Placement::Replicated, Dist::Cyclic);
+        let col_l = VectorLayout::aligned(
+            16,
+            layout.grid().clone(),
+            Axis::Col,
+            Placement::Replicated,
+            Dist::Cyclic,
+        );
+        let row_l = VectorLayout::aligned(
+            16,
+            layout.grid().clone(),
+            Axis::Row,
+            Placement::Replicated,
+            Dist::Cyclic,
+        );
         let col = DistVector::from_fn(col_l, |i| i as f64);
         let row = DistVector::from_fn(row_l, |j| j as f64);
 

@@ -90,10 +90,7 @@ mod tests {
 
     fn setup(n: usize, dim: u32) -> (Hypercube, VectorLayout) {
         let grid = ProcGrid::square(Cube::new(dim));
-        (
-            Hypercube::new(dim, CostModel::cm2()),
-            VectorLayout::linear(n, grid, Dist::Block),
-        )
+        (Hypercube::new(dim, CostModel::cm2()), VectorLayout::linear(n, grid, Dist::Block))
     }
 
     #[test]

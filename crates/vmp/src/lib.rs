@@ -25,7 +25,10 @@
 //!   (Blelloch's scan model on the same embeddings);
 //! * [`shift`] — NEWS-style torus/Dirichlet matrix shifts on the
 //!   Gray-coded grid;
-//! * [`indexing`] — irregular indexed gather (`out[i] = v[idx[i]]`).
+//! * [`indexing`] — irregular indexed gather (`out[i] = v[idx[i]]`);
+//! * [`degrade`] — graceful degradation: applying a
+//!   [`vmp_layout::DegradedMap`] to a live machine so the primitives keep
+//!   running (bit-identically) after node failures, at reduced capacity.
 //!
 //! ```
 //! use vmp_core::prelude::*;
@@ -42,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod degrade;
 pub mod elem;
 pub mod elementwise;
 pub mod indexing;
@@ -60,9 +64,12 @@ pub use vector::DistVector;
 
 /// One-stop imports for applications built on the primitives.
 pub mod prelude {
+    pub use crate::degrade::apply_degradation;
     pub use crate::elem::{ArgMax, ArgMaxAbs, ArgMin, Loc, Max, Min, Numeric, Prod, ReduceOp, Sum};
     pub use crate::matrix::DistMatrix;
-    pub use crate::primitives::{distribute, extract, extract_replicated, insert, reduce, reduce_to};
+    pub use crate::primitives::{
+        distribute, extract, extract_replicated, insert, reduce, reduce_to,
+    };
     pub use crate::remap::{concentrate, redistribute, remap_vector, replicate, transpose};
     pub use crate::vector::DistVector;
     pub use vmp_hypercube::cost::CostModel;

@@ -35,9 +35,9 @@ pub fn distribute<T: Scalar>(
     let vl = v.layout().clone();
     let (axis, placement) = match vl.embedding() {
         VecEmbedding::Aligned { axis, placement } => (*axis, *placement),
-        VecEmbedding::Linear => panic!(
-            "distribute requires an axis-aligned vector; remap the linear embedding first"
-        ),
+        VecEmbedding::Linear => {
+            panic!("distribute requires an axis-aligned vector; remap the linear embedding first")
+        }
     };
     let grid = vl.grid().clone();
 
@@ -106,7 +106,8 @@ mod tests {
     #[test]
     fn distribute_replicated_row_vector_is_communication_free() {
         let mut hc = machine(4);
-        let vl = VectorLayout::aligned(9, grid(4, 2), Axis::Row, Placement::Replicated, Dist::Cyclic);
+        let vl =
+            VectorLayout::aligned(9, grid(4, 2), Axis::Row, Placement::Replicated, Dist::Cyclic);
         let v = DistVector::from_fn(vl, |j| j as f64 * 1.5);
         let m = distribute(&mut hc, &v, 6, Dist::Cyclic);
         m.assert_consistent();
@@ -123,7 +124,13 @@ mod tests {
     #[test]
     fn distribute_concentrated_broadcasts_first() {
         let mut hc = machine(4);
-        let vl = VectorLayout::aligned(8, grid(4, 2), Axis::Row, Placement::Concentrated(3), Dist::Block);
+        let vl = VectorLayout::aligned(
+            8,
+            grid(4, 2),
+            Axis::Row,
+            Placement::Concentrated(3),
+            Dist::Block,
+        );
         let v = DistVector::from_fn(vl, |j| (j * j) as i64);
         let m = distribute(&mut hc, &v, 5, Dist::Block);
         m.assert_consistent();
@@ -138,7 +145,8 @@ mod tests {
     #[test]
     fn distribute_col_vector_stacks_columns() {
         let mut hc = machine(4);
-        let vl = VectorLayout::aligned(7, grid(4, 2), Axis::Col, Placement::Replicated, Dist::Cyclic);
+        let vl =
+            VectorLayout::aligned(7, grid(4, 2), Axis::Col, Placement::Replicated, Dist::Cyclic);
         let v = DistVector::from_fn(vl, |i| i as i64 - 3);
         let m = distribute(&mut hc, &v, 4, Dist::Block);
         m.assert_consistent();
@@ -157,7 +165,8 @@ mod tests {
         use crate::elem::Sum;
         use crate::primitives::reduce;
         let mut hc = machine(4);
-        let vl = VectorLayout::aligned(10, grid(4, 2), Axis::Row, Placement::Replicated, Dist::Cyclic);
+        let vl =
+            VectorLayout::aligned(10, grid(4, 2), Axis::Row, Placement::Replicated, Dist::Cyclic);
         let v = DistVector::from_fn(vl, |j| (j + 1) as f64);
         let m = distribute(&mut hc, &v, 8, Dist::Cyclic);
         let w = reduce(&mut hc, &m, Axis::Row, Sum);
@@ -169,7 +178,8 @@ mod tests {
     #[test]
     fn distribute_on_single_node() {
         let mut hc = machine(0);
-        let vl = VectorLayout::aligned(3, grid(0, 0), Axis::Row, Placement::Replicated, Dist::Block);
+        let vl =
+            VectorLayout::aligned(3, grid(0, 0), Axis::Row, Placement::Replicated, Dist::Block);
         let v = DistVector::from_fn(vl, |j| j as i32);
         let m = distribute(&mut hc, &v, 2, Dist::Block);
         assert_eq!(m.to_dense(), vec![vec![0, 1, 2], vec![0, 1, 2]]);

@@ -92,8 +92,12 @@ mod tests {
     use vmp_layout::{Dist, MatShape, MatrixLayout, ProcGrid, VecEmbedding};
 
     fn setup(rows: usize, cols: usize, kind: Dist) -> (Hypercube, DistMatrix<f64>) {
-        let layout =
-            MatrixLayout::new(MatShape::new(rows, cols), ProcGrid::new(Cube::new(4), 2), kind, kind);
+        let layout = MatrixLayout::new(
+            MatShape::new(rows, cols),
+            ProcGrid::new(Cube::new(4), 2),
+            kind,
+            kind,
+        );
         let m = DistMatrix::from_fn(layout, |i, j| (i * 100 + j) as f64);
         (Hypercube::new(4, CostModel::unit()), m)
     }
@@ -106,10 +110,16 @@ mod tests {
                 let v = extract(&mut hc, &m, Axis::Row, index);
                 v.assert_consistent();
                 assert_eq!(v.n(), 7);
-                assert_eq!(v.to_dense(), (0..7).map(|j| (index * 100 + j) as f64).collect::<Vec<_>>());
+                assert_eq!(
+                    v.to_dense(),
+                    (0..7).map(|j| (index * 100 + j) as f64).collect::<Vec<_>>()
+                );
                 let expected_line = m.layout().rows().owner(index);
                 match v.layout().embedding() {
-                    VecEmbedding::Aligned { axis: Axis::Row, placement: Placement::Concentrated(l) } => {
+                    VecEmbedding::Aligned {
+                        axis: Axis::Row,
+                        placement: Placement::Concentrated(l),
+                    } => {
                         assert_eq!(*l, expected_line);
                     }
                     other => panic!("unexpected embedding {other:?}"),

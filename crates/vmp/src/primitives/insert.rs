@@ -148,13 +148,21 @@ mod tests {
     use vmp_layout::{Dist, MatShape, MatrixLayout, ProcGrid, VectorLayout};
 
     fn setup(rows: usize, cols: usize, kind: Dist) -> (Hypercube, DistMatrix<f64>) {
-        let layout =
-            MatrixLayout::new(MatShape::new(rows, cols), ProcGrid::new(Cube::new(4), 2), kind, kind);
+        let layout = MatrixLayout::new(
+            MatShape::new(rows, cols),
+            ProcGrid::new(Cube::new(4), 2),
+            kind,
+            kind,
+        );
         let m = DistMatrix::from_fn(layout, |i, j| (i * 100 + j) as f64);
         (Hypercube::new(4, CostModel::unit()), m)
     }
 
-    fn row_vec(m: &DistMatrix<f64>, placement: Placement, f: impl FnMut(usize) -> f64) -> DistVector<f64> {
+    fn row_vec(
+        m: &DistMatrix<f64>,
+        placement: Placement,
+        f: impl FnMut(usize) -> f64,
+    ) -> DistVector<f64> {
         let vl = VectorLayout::aligned(
             m.shape().cols,
             m.layout().grid().clone(),

@@ -203,10 +203,8 @@ mod tests {
     use vmp_layout::{Dist, MatShape, MatrixLayout, ProcGrid};
 
     fn setup(rows: usize, cols: usize, dim: u32) -> (Hypercube, DistMatrix<f64>) {
-        let layout = MatrixLayout::cyclic(
-            MatShape::new(rows, cols),
-            ProcGrid::square(Cube::new(dim)),
-        );
+        let layout =
+            MatrixLayout::cyclic(MatShape::new(rows, cols), ProcGrid::square(Cube::new(dim)));
         let m = DistMatrix::from_fn(layout, |i, j| (i * 100 + j) as f64);
         (Hypercube::new(dim, CostModel::cm2()), m)
     }
@@ -253,10 +251,7 @@ mod tests {
     fn panel_gemm_accumulates_outer_products() {
         // c += A[:, 2..5] * B[2..5, :] checked against the dense formula.
         let (mut hc, a) = setup(6, 8, 2);
-        let b_layout = MatrixLayout::cyclic(
-            MatShape::new(8, 5),
-            ProcGrid::square(Cube::new(2)),
-        );
+        let b_layout = MatrixLayout::cyclic(MatShape::new(8, 5), ProcGrid::square(Cube::new(2)));
         let b = DistMatrix::from_fn(b_layout, |i, j| (i + 2 * j) as f64);
         let c_layout = MatrixLayout::new(
             MatShape::new(6, 5),

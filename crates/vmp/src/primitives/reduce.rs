@@ -130,19 +130,34 @@ mod tests {
     use vmp_hypercube::topology::Cube;
     use vmp_layout::{Dist, MatShape, MatrixLayout, ProcGrid};
 
-    fn setup(rows: usize, cols: usize, dim: u32, dr: u32, kind: Dist) -> (Hypercube, DistMatrix<f64>) {
-        let layout =
-            MatrixLayout::new(MatShape::new(rows, cols), ProcGrid::new(Cube::new(dim), dr), kind, kind);
+    fn setup(
+        rows: usize,
+        cols: usize,
+        dim: u32,
+        dr: u32,
+        kind: Dist,
+    ) -> (Hypercube, DistMatrix<f64>) {
+        let layout = MatrixLayout::new(
+            MatShape::new(rows, cols),
+            ProcGrid::new(Cube::new(dim), dr),
+            kind,
+            kind,
+        );
         let m = DistMatrix::from_fn(layout, |i, j| ((i * 31 + j * 17) % 23) as f64 - 11.0);
         (Hypercube::new(dim, CostModel::unit()), m)
     }
 
-    fn dense_reduce(m: &DistMatrix<f64>, axis: Axis, f: impl Fn(f64, f64) -> f64, id: f64) -> Vec<f64> {
+    fn dense_reduce(
+        m: &DistMatrix<f64>,
+        axis: Axis,
+        f: impl Fn(f64, f64) -> f64,
+        id: f64,
+    ) -> Vec<f64> {
         let d = m.to_dense();
         match axis {
-            Axis::Row => (0..m.shape().cols)
-                .map(|j| d.iter().fold(id, |acc, row| f(acc, row[j])))
-                .collect(),
+            Axis::Row => {
+                (0..m.shape().cols).map(|j| d.iter().fold(id, |acc, row| f(acc, row[j]))).collect()
+            }
             Axis::Col => d.iter().map(|row| row.iter().fold(id, |acc, &v| f(acc, v))).collect(),
         }
     }

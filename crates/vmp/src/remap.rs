@@ -78,7 +78,15 @@ pub fn concentrate<T: Scalar>(hc: &mut Hypercube, v: &DistVector<T>, line: usize
         Placement::Replicated => {
             // Free: keep only the target line's copies.
             let locals = (0..v.locals().len())
-                .map(|node| if new_layout.holds(node) { v.locals()[node].clone() } else { Vec::new() })
+                .map(
+                    |node| {
+                        if new_layout.holds(node) {
+                            v.locals()[node].clone()
+                        } else {
+                            Vec::new()
+                        }
+                    },
+                )
                 .collect();
             DistVector::from_parts(new_layout, locals)
         }
@@ -99,7 +107,15 @@ pub fn concentrate<T: Scalar>(hc: &mut Hypercube, v: &DistVector<T>, line: usize
             let arrived = route_blocks(hc, outgoing);
             let locals = arrived
                 .into_iter()
-                .map(|mut blocks| if blocks.is_empty() { Vec::new() } else { blocks.swap_remove(0).data })
+                .map(
+                    |mut blocks| {
+                        if blocks.is_empty() {
+                            Vec::new()
+                        } else {
+                            blocks.swap_remove(0).data
+                        }
+                    },
+                )
                 .collect();
             DistVector::from_parts(new_layout, locals)
         }
@@ -184,7 +200,8 @@ pub fn remap_vector<T: Scalar>(
     hc.charge_moves(max_unpacked);
 
     // Replicated target: broadcast from the primary line.
-    if let VecEmbedding::Aligned { axis, placement: Placement::Replicated } = new_layout.embedding() {
+    if let VecEmbedding::Aligned { axis, placement: Placement::Replicated } = new_layout.embedding()
+    {
         let grid = new_layout.grid().clone();
         let dims = match axis {
             Axis::Row => grid.row_dims().to_vec(),
@@ -322,7 +339,13 @@ mod tests {
     #[test]
     fn replicate_then_concentrate_roundtrips() {
         let mut hc = machine(4);
-        let vl = VectorLayout::aligned(9, grid(4, 2), Axis::Row, Placement::Concentrated(1), Dist::Cyclic);
+        let vl = VectorLayout::aligned(
+            9,
+            grid(4, 2),
+            Axis::Row,
+            Placement::Concentrated(1),
+            Dist::Cyclic,
+        );
         let v = DistVector::from_fn(vl, |i| i as f64 * 2.0);
         let r = replicate(&mut hc, &v);
         r.assert_consistent();
@@ -337,7 +360,13 @@ mod tests {
     #[test]
     fn concentrate_between_lines_routes() {
         let mut hc = machine(4);
-        let vl = VectorLayout::aligned(8, grid(4, 2), Axis::Col, Placement::Concentrated(0), Dist::Block);
+        let vl = VectorLayout::aligned(
+            8,
+            grid(4, 2),
+            Axis::Col,
+            Placement::Concentrated(0),
+            Dist::Block,
+        );
         let v = DistVector::from_fn(vl, |i| i as i64);
         let moved = concentrate(&mut hc, &v, 3);
         moved.assert_consistent();
@@ -349,7 +378,8 @@ mod tests {
     fn remap_aligned_to_linear_and_back() {
         let mut hc = machine(4);
         let g = grid(4, 2);
-        let vl = VectorLayout::aligned(13, g.clone(), Axis::Row, Placement::Replicated, Dist::Cyclic);
+        let vl =
+            VectorLayout::aligned(13, g.clone(), Axis::Row, Placement::Replicated, Dist::Cyclic);
         let v = DistVector::from_fn(vl, |i| (i * i) as f64);
         let lin = remap_vector(&mut hc, &v, VectorLayout::linear(13, g.clone(), Dist::Block));
         lin.assert_consistent();
@@ -369,7 +399,13 @@ mod tests {
         // algorithm asks for.
         let mut hc = machine(4);
         let g = grid(4, 2);
-        let vl = VectorLayout::aligned(10, g.clone(), Axis::Row, Placement::Concentrated(2), Dist::Block);
+        let vl = VectorLayout::aligned(
+            10,
+            g.clone(),
+            Axis::Row,
+            Placement::Concentrated(2),
+            Dist::Block,
+        );
         let v = DistVector::from_fn(vl, |i| i as f64 - 4.5);
         let flipped = remap_vector(
             &mut hc,

@@ -195,7 +195,8 @@ pub fn segmented_reduce<T: Scalar, O: ReduceOp<T>>(
     // In reversed coordinates a segment starts right after the mirror of
     // an original segment start: rev_flag[i] = (i == 0) || flag[n - i].
     // Built as a routed shift of the original flags, then a reverse.
-    let shifted = route_permutation(hc, flags, |i| if i > 0 { Some(i - 1) } else { None }, Some(true));
+    let shifted =
+        route_permutation(hc, flags, |i| if i > 0 { Some(i - 1) } else { None }, Some(true));
     let rev_flags = reverse(hc, &shifted);
     let copied = segmented_scan_inclusive(hc, &rev_some, &rev_flags, FirstSome);
     let rev_out = copied.map(hc, |_, o| o.expect("every position is in a segment"));

@@ -242,7 +242,13 @@ mod tests {
         let g = grid(4, 2);
         for layout in [
             VectorLayout::aligned(11, g.clone(), Axis::Row, Placement::Replicated, Dist::Cyclic),
-            VectorLayout::aligned(11, g.clone(), Axis::Row, Placement::Concentrated(3), Dist::Block),
+            VectorLayout::aligned(
+                11,
+                g.clone(),
+                Axis::Row,
+                Placement::Concentrated(3),
+                Dist::Block,
+            ),
             VectorLayout::aligned(11, g.clone(), Axis::Col, Placement::Replicated, Dist::Block),
             VectorLayout::linear(11, g.clone(), Dist::Cyclic),
         ] {
@@ -270,7 +276,13 @@ mod tests {
     fn reduce_all_concentrated_and_linear() {
         let g = grid(3, 1);
         let mut hc = machine(3);
-        let conc = VectorLayout::aligned(9, g.clone(), Axis::Col, Placement::Concentrated(2), Dist::Cyclic);
+        let conc = VectorLayout::aligned(
+            9,
+            g.clone(),
+            Axis::Col,
+            Placement::Concentrated(2),
+            Dist::Cyclic,
+        );
         let v = DistVector::from_fn(conc, |i| i as f64);
         assert_eq!(v.reduce_all(&mut hc, Sum), 36.0);
         let lin = VectorLayout::linear(9, g, Dist::Block);

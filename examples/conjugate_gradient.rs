@@ -20,7 +20,8 @@ fn main() {
 
     let hc = &mut Hypercube::cm2(dim);
     let grid = ProcGrid::square(hc.cube());
-    let am = DistMatrix::from_fn(MatrixLayout::cyclic(MatShape::new(n, n), grid), |i, j| a.get(i, j));
+    let am =
+        DistMatrix::from_fn(MatrixLayout::cyclic(MatShape::new(n, n), grid), |i, j| a.get(i, j));
 
     let out = cg_solve(hc, &am, &b, CgOptions::default());
     let err = out.x.iter().zip(&x_true).map(|(u, v)| (u - v).abs()).fold(0.0, f64::max);
@@ -36,11 +37,16 @@ fn main() {
     );
 
     let serial = cg_solve_serial(&a, &b, CgOptions::default());
-    println!("serial CG:   {} iterations, residual {:.2e}", serial.iterations, serial.residual_norm);
+    println!(
+        "serial CG:   {} iterations, residual {:.2e}",
+        serial.iterations, serial.residual_norm
+    );
 
     // Per-iteration anatomy: one matvec, one axis-flip remap, two dots,
     // three vector updates.
-    println!("\neach iteration = 1 matvec + 1 embedding change (axis flip) + 2 dot products + 3 AXPYs");
+    println!(
+        "\neach iteration = 1 matvec + 1 embedding change (axis flip) + 2 dot products + 3 AXPYs"
+    );
     println!("the embedding change is priced like any other data movement — the");
     println!("matvec output is column-aligned, the iteration vectors row-aligned.");
 }

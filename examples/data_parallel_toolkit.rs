@@ -55,7 +55,10 @@ fn main() {
 
     // --- histogram ------------------------------------------------------
     let values: Vec<usize> = (0..256).map(|i| (i * i) % 16).collect();
-    let hv = DistVector::from_slice(VectorLayout::linear(values.len(), grid.clone(), Dist::Block), &values);
+    let hv = DistVector::from_slice(
+        VectorLayout::linear(values.len(), grid.clone(), Dist::Block),
+        &values,
+    );
     let mut hd = Hypercube::cm2(dim);
     let dense = histogram_dense(&mut hd, &hv, 16);
     let mut hs = Hypercube::cm2(dim);

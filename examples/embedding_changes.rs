@@ -26,7 +26,8 @@ fn main() {
     };
 
     // Start from a concentrated row vector (what extract returns).
-    let conc = VectorLayout::aligned(n, grid.clone(), Axis::Row, Placement::Concentrated(5), Dist::Cyclic);
+    let conc =
+        VectorLayout::aligned(n, grid.clone(), Axis::Row, Placement::Concentrated(5), Dist::Cyclic);
     let v = DistVector::from_fn(conc, |i| (i as f64).sqrt());
 
     let mut hc = Hypercube::cm2(dim);

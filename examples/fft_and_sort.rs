@@ -34,20 +34,19 @@ fn main() {
     let spectrum = fft(hc, &v);
     let t_fft = hc.elapsed_us();
     let spec = spectrum.to_dense();
-    let mut peaks: Vec<(usize, f64)> =
-        spec.iter().enumerate().map(|(k, c)| (k, c.abs())).collect();
+    let mut peaks: Vec<(usize, f64)> = spec.iter().enumerate().map(|(k, c)| (k, c.abs())).collect();
     peaks.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
     println!("FFT of two tones (bins 3 and 17), n = {n}, p = {}:", 1usize << dim);
     println!("  top bins: {:?}", peaks[..4].iter().map(|&(k, _)| k).collect::<Vec<_>>());
-    println!("  simulated time {:.1} us, {} message supersteps", t_fft, hc.counters().message_steps);
+    println!(
+        "  simulated time {:.1} us, {} message supersteps",
+        t_fft,
+        hc.counters().message_steps
+    );
 
     if n <= 512 {
         let naive = dft_serial(&x, false);
-        let err = spec
-            .iter()
-            .zip(&naive)
-            .map(|(a, b)| a.sub(*b).abs())
-            .fold(0.0, f64::max);
+        let err = spec.iter().zip(&naive).map(|(a, b)| a.sub(*b).abs()).fold(0.0, f64::max);
         println!("  max |FFT - naive DFT| = {err:.2e}");
     }
     let back = ifft(hc, &spectrum).to_dense();

@@ -47,7 +47,8 @@ fn main() {
     let xt: Vec<f64> = (0..ps.rows()).map(|i| (i % 5) as f64 - 2.0).collect();
     let pb = ps.matvec(&xt);
     let hc2 = &mut Hypercube::cm2(dim);
-    let (xp, pstats) = gauss::ge_solve(hc2, &ps, &pb, ProcGrid::square(hc2.cube())).expect("nonsingular");
+    let (xp, pstats) =
+        gauss::ge_solve(hc2, &ps, &pb, ProcGrid::square(hc2.cube())).expect("nonsingular");
     let perr = xp.iter().zip(&xt).map(|(u, v)| (u - v).abs()).fold(0.0, f64::max);
     println!(
         "\npivot-stress {}x{}: {} row swaps, max error {perr:.2e} (no pivoting would blow up)",
@@ -69,6 +70,10 @@ fn main() {
         };
         let mut aug = DistMatrix::from_fn(layout, |i, j| if j < n { a.get(i, j) } else { b[i] });
         gauss::ge_solve_dist(hc3, &mut aug).expect("nonsingular");
-        println!("layout {name:>6} (p = {}): {:.2} ms", 1usize << small_dim, hc3.elapsed_us() / 1e3);
+        println!(
+            "layout {name:>6} (p = {}): {:.2} ms",
+            1usize << small_dim,
+            hc3.elapsed_us() / 1e3
+        );
     }
 }

@@ -20,8 +20,12 @@ fn main() {
     let make = || {
         let grid = ProcGrid::square(Cube::new(dim));
         (
-            DistMatrix::from_fn(MatrixLayout::cyclic(MatShape::new(n, n), grid.clone()), |i, j| da.get(i, j)),
-            DistMatrix::from_fn(MatrixLayout::cyclic(MatShape::new(n, n), grid), |i, j| db.get(i, j)),
+            DistMatrix::from_fn(MatrixLayout::cyclic(MatShape::new(n, n), grid.clone()), |i, j| {
+                da.get(i, j)
+            }),
+            DistMatrix::from_fn(MatrixLayout::cyclic(MatShape::new(n, n), grid), |i, j| {
+                db.get(i, j)
+            }),
         )
     };
     use four_vmp::hypercube::Cube;
@@ -32,7 +36,12 @@ fn main() {
     let (a, b) = make();
     let mut hc = Hypercube::cm2(dim);
     let c_rank1 = matmul(&mut hc, &a, &b);
-    println!("{:<28} {:>10.2}ms {:>12}", "rank-1 (pure primitives)", hc.elapsed_us() / 1e3, hc.counters().message_steps);
+    println!(
+        "{:<28} {:>10.2}ms {:>12}",
+        "rank-1 (pure primitives)",
+        hc.elapsed_us() / 1e3,
+        hc.counters().message_steps
+    );
 
     for panel in [2usize, 4, 8, 16] {
         let (a, b) = make();

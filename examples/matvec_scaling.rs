@@ -18,25 +18,32 @@ fn main() {
     let cost = CostModel::cm2();
     let serial_us = cost.gamma * 2.0 * (n * n) as f64;
 
-    println!("y = x A with n = {n} (m = {} elements), the SAME program on every machine size:\n", n * n);
+    println!(
+        "y = x A with n = {n} (m = {} elements), the SAME program on every machine size:\n",
+        n * n
+    );
     println!("   p     m/p   m>p*lgp   simulated      speedup   efficiency   max|err|");
     for dim in [0u32, 2, 4, 6, 8, 10, 12] {
         let p = 1usize << dim;
         let hc = &mut Hypercube::cm2(dim);
         let grid = ProcGrid::square(hc.cube());
-        let a = DistMatrix::from_fn(MatrixLayout::cyclic(MatShape::new(n, n), grid), |i, j| d.get(i, j));
+        let a = DistMatrix::from_fn(MatrixLayout::cyclic(MatShape::new(n, n), grid), |i, j| {
+            d.get(i, j)
+        });
         let x = DistVector::from_fn(
-            VectorLayout::aligned(n, a.layout().grid().clone(), Axis::Col, Placement::Replicated, Dist::Cyclic),
+            VectorLayout::aligned(
+                n,
+                a.layout().grid().clone(),
+                Axis::Col,
+                Placement::Replicated,
+                Dist::Cyclic,
+            ),
             |i| xh[i],
         );
         let y = vecmat(hc, &x, &a);
         let t = hc.elapsed_us();
-        let err = y
-            .to_dense()
-            .iter()
-            .zip(&serial_y)
-            .map(|(u, v)| (u - v).abs())
-            .fold(0.0, f64::max);
+        let err =
+            y.to_dense().iter().zip(&serial_y).map(|(u, v)| (u - v).abs()).fold(0.0, f64::max);
         println!(
             "{:>5}  {:>6}   {:>7}   {:>9.1} us   {:>7.2}x   {:>9.3}   {err:.1e}",
             p,

@@ -6,8 +6,8 @@
 //! cargo run --release --example poisson_stencil [n] [iterations] [cube_dim]
 //! ```
 
-use four_vmp::algos::stencil::{jacobi_poisson, jacobi_poisson_serial, poisson_residual};
 use four_vmp::algos::serial::Dense;
+use four_vmp::algos::stencil::{jacobi_poisson, jacobi_poisson_serial, poisson_residual};
 use four_vmp::hypercube::Cube;
 use four_vmp::prelude::*;
 
@@ -28,7 +28,8 @@ fn main() {
     let hc = &mut Hypercube::cm2(dim);
     let grid = ProcGrid::square(Cube::new(dim));
     // Block layout: shifts move only block-boundary lines.
-    let f = DistMatrix::from_fn(MatrixLayout::block(MatShape::new(n, n), grid), |i, j| fd.get(i, j));
+    let f =
+        DistMatrix::from_fn(MatrixLayout::block(MatShape::new(n, n), grid), |i, j| fd.get(i, j));
     let u = jacobi_poisson(hc, &f, h2, iterations);
 
     let ud_rows = u.to_dense();

@@ -32,12 +32,20 @@ fn main() {
     // 1. reduce: combine all rows into one row vector (column sums).
     hc.reset();
     let col_sums = reduce(hc, &a, Axis::Row, Sum);
-    println!("\nreduce(Row, +):        {:>9.1} us   col_sums[0] = {:.4}", hc.elapsed_us(), col_sums.get(0));
+    println!(
+        "\nreduce(Row, +):        {:>9.1} us   col_sums[0] = {:.4}",
+        hc.elapsed_us(),
+        col_sums.get(0)
+    );
 
     // 2. distribute: stack that vector back into a full matrix.
     hc.reset();
     let stacked = distribute(hc, &col_sums, n, Dist::Cyclic);
-    println!("distribute (x{n}):      {:>9.1} us   stacked[7][0] = {:.4}", hc.elapsed_us(), stacked.get(7, 0));
+    println!(
+        "distribute (x{n}):      {:>9.1} us   stacked[7][0] = {:.4}",
+        hc.elapsed_us(),
+        stacked.get(7, 0)
+    );
 
     // 3. extract: pull out row 100. The result is *concentrated* on the
     //    grid row that owns matrix row 100 — the embedding the data
@@ -55,11 +63,21 @@ fn main() {
     let mut b = a.clone();
     hc.reset();
     insert(hc, &mut b, Axis::Row, 0, &row100_rep);
-    println!("insert(Row, 0):        {:>9.1} us   b[0][3] == a[100][3]: {}", hc.elapsed_us(), b.get(0, 3) == a.get(100, 3));
+    println!(
+        "insert(Row, 0):        {:>9.1} us   b[0][3] == a[100][3]: {}",
+        hc.elapsed_us(),
+        b.get(0, 3) == a.get(100, 3)
+    );
 
     // Compose: y = x A in two primitive operations.
     let x = DistVector::from_fn(
-        VectorLayout::aligned(n, a.layout().grid().clone(), Axis::Col, Placement::Replicated, Dist::Cyclic),
+        VectorLayout::aligned(
+            n,
+            a.layout().grid().clone(),
+            Axis::Col,
+            Placement::Replicated,
+            Dist::Cyclic,
+        ),
         |i| (i % 7) as f64,
     );
     hc.reset();

@@ -51,12 +51,7 @@ fn main() {
         let km = workloads::klee_minty(d);
         let hc2 = &mut Hypercube::cm2(6);
         let r = simplex::solve_parallel(hc2, &km, ProcGrid::square(hc2.cube()), 1 << (d + 2));
-        println!(
-            "  {d}   {:>6}   {:>8}   {:.0}",
-            r.iterations,
-            (1 << d) - 1,
-            r.objective
-        );
+        println!("  {d}   {:>6}   {:>8}   {:.0}", r.iterations, (1 << d) - 1, r.objective);
         assert_eq!(r.iterations, (1 << d) - 1);
     }
     println!("\nthe exponential pivot path survives parallelisation untouched —");

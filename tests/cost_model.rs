@@ -48,10 +48,7 @@ fn simulated_time_respects_the_lower_bound() {
             let t = reduce_time(n, dim);
             let grid = ProcGrid::square(Cube::new(dim));
             let lb = analysis::lower_bound_dims(n * n, 1 << dim, grid.dr(), &cost);
-            assert!(
-                t >= lb * 0.999,
-                "dim {dim} n {n}: simulated {t} below bound {lb}"
-            );
+            assert!(t >= lb * 0.999, "dim {dim} n {n}: simulated {t} below bound {lb}");
         }
     }
 }

@@ -39,19 +39,15 @@ fn one_by_one_matrix_supports_every_primitive() {
 #[test]
 fn single_row_and_single_column_matrices() {
     let mut hc = machine(4);
-    let row = DistMatrix::from_fn(
-        MatrixLayout::cyclic(MatShape::new(1, 9), grid(4)),
-        |_, j| j as i64,
-    );
+    let row =
+        DistMatrix::from_fn(MatrixLayout::cyclic(MatShape::new(1, 9), grid(4)), |_, j| j as i64);
     let col_sum = primitives::reduce(&mut hc, &row, Axis::Row, Sum);
     assert_eq!(col_sum.to_dense(), (0..9).collect::<Vec<i64>>());
     let row_min = primitives::reduce(&mut hc, &row, Axis::Col, Min);
     assert_eq!(row_min.to_dense(), vec![0]);
 
-    let col = DistMatrix::from_fn(
-        MatrixLayout::cyclic(MatShape::new(9, 1), grid(4)),
-        |i, _| i as i64,
-    );
+    let col =
+        DistMatrix::from_fn(MatrixLayout::cyclic(MatShape::new(9, 1), grid(4)), |i, _| i as i64);
     let m = primitives::reduce(&mut hc, &col, Axis::Row, Max);
     assert_eq!(m.to_dense(), vec![8]);
 }
@@ -78,9 +74,10 @@ fn single_processor_machine_runs_the_whole_stack() {
 #[test]
 fn empty_and_tiny_vectors() {
     let mut hc = machine(3);
-    let empty = DistVector::<f64>::from_fn(VectorLayout::linear(0, grid(3), Dist::Block), |_| {
-        unreachable!()
-    });
+    let empty = DistVector::<f64>::from_fn(
+        VectorLayout::linear(0, grid(3), Dist::Block),
+        |_| unreachable!(),
+    );
     assert_eq!(empty.reduce_all(&mut hc, Sum), 0.0);
     assert_eq!(empty.to_dense(), Vec::<f64>::new());
 
@@ -115,11 +112,7 @@ fn singular_and_infeasible_inputs_report_errors_not_garbage() {
         gauss::GeError::Singular
     );
     // Infeasible LP.
-    let lp = GeneralLp::new(
-        Dense::from_rows(&[vec![1.0], vec![-1.0]]),
-        vec![0.5, -2.0],
-        vec![1.0],
-    );
+    let lp = GeneralLp::new(Dense::from_rows(&[vec![1.0], vec![-1.0]]), vec![0.5, -2.0], vec![1.0]);
     let r = simplex::solve_general_parallel(&mut hc, &lp, grid(2), 100);
     assert_eq!(r.status, SimplexStatus::Infeasible);
 }

@@ -57,7 +57,9 @@ fn matvec_pipeline_with_embedding_changes() {
     let d = workloads::random_matrix(n, n, 9);
     let xh = workloads::random_vector(n, 10);
     let g = grid(4);
-    let a = DistMatrix::from_fn(MatrixLayout::cyclic(MatShape::new(n, n), g.clone()), |i, j| d.get(i, j));
+    let a = DistMatrix::from_fn(MatrixLayout::cyclic(MatShape::new(n, n), g.clone()), |i, j| {
+        d.get(i, j)
+    });
     let x = DistVector::from_slice(VectorLayout::linear(n, g, Dist::Block), &xh);
     let mut hc = machine(4);
     let y = vecmat(&mut hc, &x, &a);
@@ -88,11 +90,7 @@ fn primitives_compose_into_power_iteration() {
         lambda = ay.reduce_all(&mut hc, Max);
         // Normalise and re-orient for the next multiply.
         let normalised = ay.map(&mut hc, |_, v| v / lambda);
-        y = four_vmp::core::remap::remap_vector(
-            &mut hc,
-            &normalised,
-            y.layout().clone(),
-        );
+        y = four_vmp::core::remap::remap_vector(&mut hc, &normalised, y.layout().clone());
     }
     // Rayleigh-quotient check: A y ~= lambda y.
     let ay = four_vmp::algos::matvec(&mut hc, &a, &y);
@@ -125,7 +123,8 @@ fn counters_tell_a_consistent_story() {
     // imply zero time; message steps imply alpha charges.
     let n = 32;
     let g = grid(6);
-    let a = DistMatrix::from_fn(MatrixLayout::cyclic(MatShape::new(n, n), g), |i, j| (i + j) as f64);
+    let a =
+        DistMatrix::from_fn(MatrixLayout::cyclic(MatShape::new(n, n), g), |i, j| (i + j) as f64);
     let mut hc = machine(6);
     let before = *hc.counters();
     let _ = primitives::extract(&mut hc, &a, Axis::Row, 3);

@@ -18,8 +18,9 @@ fn kind_strategy() -> impl Strategy<Value = Dist> {
 
 /// (cube dim, grid row dims, rows, cols, kinds)
 fn layout_strategy() -> impl Strategy<Value = (u32, u32, usize, usize, Dist, Dist)> {
-    (0u32..=5)
-        .prop_flat_map(|dim| (Just(dim), 0..=dim, 1usize..=17, 1usize..=17, kind_strategy(), kind_strategy()))
+    (0u32..=5).prop_flat_map(|dim| {
+        (Just(dim), 0..=dim, 1usize..=17, 1usize..=17, kind_strategy(), kind_strategy())
+    })
 }
 
 fn make_matrix(

@@ -1,0 +1,173 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//! Each benchmark closure is warmed up once and then timed over a small
+//! fixed number of iterations; mean wall-clock time per iteration is
+//! printed. No statistics, plots, or baselines — just enough to keep
+//! `cargo bench` compiling and producing indicative numbers offline.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Iterations timed per benchmark (after one untimed warm-up call).
+const TIMED_ITERS: u32 = 10;
+
+/// Top-level driver mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string() }
+    }
+
+    /// Run a single standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, |b| f(b));
+        self
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the stand-in's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into().label), |b| f(b));
+        self
+    }
+
+    /// Run a parameterised benchmark within this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.label), |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op; reports are printed as benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter value into an id.
+    pub fn new<P: Display>(name: &str, param: P) -> Self {
+        BenchmarkId { label: format!("{name}/{param}") }
+    }
+
+    /// An id carrying only a parameter value (upstream
+    /// `BenchmarkId::from_parameter`).
+    pub fn from_parameter<P: Display>(param: P) -> Self {
+        BenchmarkId { label: param.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId { label: label.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `routine`: one warm-up call, then [`TIMED_ITERS`] timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..TIMED_ITERS {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+        self.iters = TIMED_ITERS;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut b = Bencher { elapsed_ns: 0, iters: 1 };
+    f(&mut b);
+    let per_iter_ns = b.elapsed_ns / u128::from(b.iters.max(1));
+    println!("bench {label:<56} {per_iter_ns:>12} ns/iter (offline stand-in)");
+}
+
+/// Prevent the optimiser from deleting a value (re-export shim).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runner, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("square", 7u32), &7u32, |b, &n| b.iter(|| n * n));
+        g.bench_function("add", |b| b.iter(|| 1u64 + 2));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_and_harness_run() {
+        benches();
+        let mut c = Criterion::default();
+        c.bench_function("standalone", |b| b.iter(|| black_box(3u8)));
+    }
+}

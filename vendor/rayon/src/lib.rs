@@ -1,0 +1,48 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//! Executes sequentially: the SPMD per-node local phases are independent
+//! and bit-identical either way; only host wall-clock parallelism is
+//! lost, which no test or simulated-cost result depends on.
+
+/// The prelude, mirroring `rayon::prelude`.
+pub mod prelude {
+    /// `into_par_iter()` — sequential stand-in returning the plain
+    /// iterator, whose `map`/`collect`/`for_each` then come from `std`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// The "parallel" iterator type (the sequential iterator here).
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// `par_iter_mut()` on slices — sequential stand-in.
+    pub trait ParallelSliceMut<T> {
+        /// Mutable iteration over the slice.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_mut_visits_every_element() {
+        let mut v = vec![1u32, 2, 3];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x += i as u32);
+        assert_eq!(v, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn into_par_iter_collects() {
+        let out: Vec<usize> = (0..5usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(out, vec![0, 1, 4, 9, 16]);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the subset of `serde` this workspace uses: the
+//! marker traits plus `#[derive(Serialize, Deserialize)]`. `Serialize`
+//! is blanket-implemented over `Debug` — every derived type here also
+//! derives `Debug` — and `serde_json`'s stand-in renders through it.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serialisable values; satisfied by any `Debug` type.
+pub trait Serialize: std::fmt::Debug {}
+impl<T: std::fmt::Debug + ?Sized> Serialize for T {}
+
+/// Marker for deserialisable values; nothing in this workspace
+/// deserialises, so it carries no methods.
+pub trait Deserialize<'de> {}
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde
+//! stand-in: the traits are blanket-implemented in the `serde` stub, so
+//! the derives only need to exist and accept the attribute syntax.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]`; emits nothing (blanket impl covers it).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]`; emits nothing (blanket impl covers it).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,335 @@
+//! Offline stand-in for the one `serde_json` entry point this workspace
+//! uses. Without the real serde data model it converts the value's
+//! pretty `Debug` form into JSON: struct names are dropped, field names
+//! become quoted keys, tuples become arrays, `Some(x)` unwraps and
+//! `None` maps to `null`. This covers any type whose `Debug` output is
+//! built from strings, numbers, bools, lists, tuples and structs —
+//! which is every type the workspace serialises.
+
+use serde::Serialize;
+
+/// Render `value` as pretty-printed JSON (via its `Debug` form).
+///
+/// # Errors
+/// Fails only if the `Debug` output does not follow the standard
+/// derived grammar (e.g. a hand-written `Debug` impl emitting free
+/// text).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let debug = format!("{value:#?}");
+    let mut p = Parser { src: debug.as_bytes(), pos: 0 };
+    let mut out = String::with_capacity(debug.len());
+    p.value(&mut out, 0)?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(Error(()));
+    }
+    Ok(out)
+}
+
+/// Error type mirroring `serde_json::Error`: produced when a `Debug`
+/// rendering cannot be mapped onto the JSON data model.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json stand-in: Debug output is not JSON-mappable")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Recursive-descent parser over derived `Debug` output.
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(()))
+        }
+    }
+
+    /// One Debug value → JSON appended to `out`.
+    fn value(&mut self, out: &mut String, depth: usize) -> Result<(), Error> {
+        self.skip_ws();
+        match self.peek().ok_or(Error(()))? {
+            b'"' => self.string(out),
+            b'[' => self.seq(out, depth, b'[', b']'),
+            b'(' => self.seq(out, depth, b'(', b')'),
+            b'{' => self.braced(out, depth),
+            c if c == b'-' || c.is_ascii_digit() => {
+                self.number(out);
+                Ok(())
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => self.ident_led(out, depth),
+            _ => Err(Error(())),
+        }
+    }
+
+    /// Rust string literal → JSON string (escapes re-encoded).
+    fn string(&mut self, out: &mut String) -> Result<(), Error> {
+        self.expect(b'"')?;
+        out.push('"');
+        while let Some(c) = self.peek() {
+            self.pos += 1;
+            match c {
+                b'"' => {
+                    out.push('"');
+                    return Ok(());
+                }
+                b'\\' => {
+                    let esc = self.peek().ok_or(Error(()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' | b'\\' => {
+                            out.push('\\');
+                            out.push(esc as char);
+                        }
+                        b'n' => out.push_str("\\n"),
+                        b't' => out.push_str("\\t"),
+                        b'r' => out.push_str("\\r"),
+                        b'0' => out.push_str("\\u0000"),
+                        b'\'' => out.push('\''),
+                        b'u' => {
+                            // \u{XXXX} → \uXXXX (or a surrogate pair).
+                            self.expect(b'{')?;
+                            let start = self.pos;
+                            while self.peek().is_some_and(|b| b != b'}') {
+                                self.pos += 1;
+                            }
+                            let hex = std::str::from_utf8(&self.src[start..self.pos])
+                                .map_err(|_| Error(()))?;
+                            self.expect(b'}')?;
+                            let cp = u32::from_str_radix(hex, 16).map_err(|_| Error(()))?;
+                            let ch = char::from_u32(cp).ok_or(Error(()))?;
+                            let mut buf = [0u16; 2];
+                            for unit in ch.encode_utf16(&mut buf) {
+                                out.push_str(&format!("\\u{unit:04x}"));
+                            }
+                        }
+                        _ => return Err(Error(())),
+                    }
+                }
+                _ if c < 0x80 => out.push(c as char),
+                _ => {
+                    // Multi-byte UTF-8 sequence: pass through intact.
+                    let start = self.pos - 1;
+                    while self.peek().is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.src[start..self.pos]).map_err(|_| Error(()))?,
+                    );
+                }
+            }
+        }
+        Err(Error(()))
+    }
+
+    fn number(&mut self, out: &mut String) {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        // NaN/inf Debug-print as idents and fail in `ident_led`, which
+        // is the correct strict-JSON behaviour.
+        out.push_str(std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("0"));
+    }
+
+    /// `[a, b]` or tuple `(a, b)` → JSON array.
+    fn seq(&mut self, out: &mut String, depth: usize, open: u8, close: u8) -> Result<(), Error> {
+        self.expect(open)?;
+        self.skip_ws();
+        if self.peek() == Some(close) {
+            self.pos += 1;
+            out.push_str("[]");
+            return Ok(());
+        }
+        out.push_str("[\n");
+        loop {
+            indent(out, depth + 1);
+            self.value(out, depth + 1)?;
+            self.skip_ws();
+            if self.peek() == Some(b',') {
+                self.pos += 1;
+                self.skip_ws();
+            }
+            if self.peek() == Some(close) {
+                self.pos += 1;
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+                return Ok(());
+            }
+            out.push_str(",\n");
+        }
+    }
+
+    /// Anonymous `{ field: value, .. }` body → JSON object.
+    fn braced(&mut self, out: &mut String, depth: usize) -> Result<(), Error> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            out.push_str("{}");
+            return Ok(());
+        }
+        out.push_str("{\n");
+        loop {
+            indent(out, depth + 1);
+            let name = self.ident()?;
+            out.push('"');
+            out.push_str(&name);
+            out.push_str("\": ");
+            self.skip_ws();
+            self.expect(b':')?;
+            self.value(out, depth + 1)?;
+            self.skip_ws();
+            if self.peek() == Some(b',') {
+                self.pos += 1;
+                self.skip_ws();
+            }
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+                return Ok(());
+            }
+            out.push_str(",\n");
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(Error(()));
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos]).map_err(|_| Error(()))?.to_string())
+    }
+
+    /// A value starting with an identifier: `Name { .. }` (struct, name
+    /// dropped), `Name(..)` (tuple struct → array; `Some(x)` unwraps),
+    /// `true`/`false`, `None` → `null`, a bare unit variant → its name
+    /// as a string.
+    fn ident_led(&mut self, out: &mut String, depth: usize) -> Result<(), Error> {
+        let name = self.ident()?;
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.braced(out, depth),
+            Some(b'(') => {
+                if name == "Some" {
+                    self.expect(b'(')?;
+                    self.value(out, depth)?;
+                    self.skip_ws();
+                    if self.peek() == Some(b',') {
+                        self.pos += 1;
+                        self.skip_ws();
+                    }
+                    self.expect(b')')
+                } else {
+                    self.seq(out, depth, b'(', b')')
+                }
+            }
+            _ => {
+                match name.as_str() {
+                    "true" | "false" => out.push_str(&name),
+                    "None" => out.push_str("null"),
+                    _ => {
+                        out.push('"');
+                        out.push_str(&name);
+                        out.push('"');
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::to_string_pretty;
+
+    #[derive(Debug)]
+    #[allow(dead_code)] // read only through Debug
+    struct Inner {
+        label: String,
+        values: Vec<u32>,
+    }
+
+    #[derive(Debug)]
+    #[allow(dead_code)] // read only through Debug
+    struct Outer {
+        id: String,
+        ok: bool,
+        ratio: f64,
+        maybe: Option<usize>,
+        none: Option<usize>,
+        inner: Vec<Inner>,
+    }
+
+    #[test]
+    fn structs_render_as_json_objects() {
+        let v = Outer {
+            id: "T1 \"quoted\"\nline".to_string(),
+            ok: true,
+            ratio: 1.5,
+            maybe: Some(4),
+            none: None,
+            inner: vec![Inner { label: "a/b".to_string(), values: vec![1, 2, 3] }],
+        };
+        let json = to_string_pretty(&v).expect("convertible");
+        assert!(json.contains("\"id\": \"T1 \\\"quoted\\\"\\nline\""), "{json}");
+        assert!(json.contains("\"ok\": true"), "{json}");
+        assert!(json.contains("\"ratio\": 1.5"), "{json}");
+        assert!(json.contains("\"maybe\": 4"), "{json}");
+        assert!(json.contains("\"none\": null"), "{json}");
+        assert!(json.contains("\"values\": [\n"), "{json}");
+        assert!(!json.contains("Outer") && !json.contains("Inner"), "{json}");
+    }
+
+    #[test]
+    fn lists_tuples_and_empties_render() {
+        let json = to_string_pretty(&vec![(1u8, "x"), (2, "y")]).expect("convertible");
+        assert_eq!(json, "[\n  [\n    1,\n    \"x\"\n  ],\n  [\n    2,\n    \"y\"\n  ]\n]");
+        assert_eq!(to_string_pretty(&Vec::<u8>::new()).expect("ok"), "[]");
+    }
+
+    #[test]
+    fn unicode_and_escapes_survive() {
+        let json = to_string_pretty(&vec!["α→β".to_string(), "tab\there".to_string()])
+            .expect("convertible");
+        assert!(json.contains("α→β"), "{json}");
+        assert!(json.contains("tab\\there"), "{json}");
+    }
+}
