@@ -121,7 +121,7 @@ fn fft_impl(hc: &mut Hypercube, v: &DistVector<Cplx>, inverse: bool) -> DistVect
     let local_bits = m.trailing_zeros() as usize;
     let sign = if inverse { 1.0 } else { -1.0 };
 
-    let mut chunks: Vec<Vec<Cplx>> = v.chunks().to_vec();
+    let mut chunks: Vec<Vec<Cplx>> = v.chunks().to_nested();
 
     // DIF stages, stride t = 2^s from n/2 down to 1.
     for s in (0..q).rev() {

@@ -43,7 +43,7 @@ pub fn bitonic_sort<T: Scalar, K: PartialOrd>(
     let q = n.trailing_zeros() as usize;
     let local_bits = m.trailing_zeros() as usize;
 
-    let mut chunks: Vec<Vec<T>> = v.chunks().to_vec();
+    let mut chunks: Vec<Vec<T>> = v.chunks().to_nested();
 
     for k in 1..=q {
         for j in (0..k).rev() {

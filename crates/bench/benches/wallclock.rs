@@ -1,0 +1,62 @@
+//! Criterion wall-clock benches of the slab data plane against the
+//! preserved seed nested-Vec path (the `reproduce -- wallclock`
+//! experiment gives the same comparison in table + JSON form).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vmp_bench::common::{cm2, hash_entry, random_aligned_vector, random_dist_matrix, square_grid};
+use vmp_core::prelude::*;
+use vmp_hypercube::collective::{self, reference};
+use vmp_hypercube::slab::NodeSlab;
+
+const DIM: u32 = 8;
+
+fn bench_allreduce_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wallclock_allreduce");
+    g.sample_size(10);
+    let p = 1usize << DIM;
+    let dims: Vec<u32> = (0..DIM).collect();
+    for len in [64usize, 1024] {
+        let nested: Vec<Vec<f64>> =
+            (0..p).map(|n| (0..len).map(|i| hash_entry(n, i)).collect()).collect();
+        g.bench_with_input(BenchmarkId::new("seed_nested", len), &len, |b, _| {
+            b.iter(|| {
+                let mut hc = cm2(DIM);
+                let mut locals = nested.clone();
+                reference::allreduce(&mut hc, &mut locals, &dims, |a, b| a + b);
+                std::hint::black_box(locals)
+            });
+        });
+        let slab = NodeSlab::from_nested(&nested);
+        g.bench_with_input(BenchmarkId::new("slab", len), &len, |b, _| {
+            b.iter(|| {
+                let mut hc = cm2(DIM);
+                let mut s = slab.clone();
+                collective::allreduce_slab(&mut hc, &mut s, &dims, |a, b| a + b);
+                std::hint::black_box(s)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_rank1_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wallclock_rank1");
+    g.sample_size(10);
+    for n in [64usize, 256] {
+        let m = random_dist_matrix(n, square_grid(DIM));
+        let col = random_aligned_vector(&m, Axis::Col);
+        let row = random_aligned_vector(&m, Axis::Row);
+        g.bench_with_input(BenchmarkId::new("slab_tiled", n), &n, |b, _| {
+            b.iter(|| {
+                let mut hc = cm2(DIM);
+                let mut mm = m.clone();
+                mm.rank1_update(&mut hc, &col, &row, |_, _, a, c, r| a - c * r);
+                std::hint::black_box(mm)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_allreduce_paths, bench_rank1_update);
+criterion_main!(benches);

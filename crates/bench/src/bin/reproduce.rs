@@ -6,6 +6,7 @@
 //! cargo run --release -p vmp-bench --bin reproduce -- r1      # fault sweep
 //! cargo run --release -p vmp-bench --bin reproduce -- --list  # what exists
 //! cargo run --release -p vmp-bench --bin reproduce -- --json out.json
+//! cargo run --release -p vmp-bench --bin reproduce -- wallclock --smoke
 //! ```
 
 use std::io::Write;
@@ -15,9 +16,10 @@ use vmp_bench::table::Table;
 
 fn usage() -> String {
     format!(
-        "usage: reproduce [--list] [--json PATH] [ID ...]\n\
+        "usage: reproduce [--list] [--smoke] [--json PATH] [ID ...]\n\
          known experiment ids: {}\n\
-         run with no ids to reproduce everything; --list describes each id",
+         run with no ids to reproduce everything; --list describes each id;\n\
+         --smoke shrinks the wallclock experiment to CI-sized inputs",
         ALL_IDS.join(" ")
     )
 }
@@ -25,10 +27,13 @@ fn usage() -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
+    let mut smoke = false;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
-        if a == "--json" {
+        if a == "--smoke" {
+            smoke = true;
+        } else if a == "--json" {
             json_path = it.next();
             if json_path.is_none() {
                 eprintln!("--json requires a path\n{}", usage());
@@ -71,7 +76,7 @@ fn main() {
 
     let mut tables: Vec<Table> = Vec::new();
     for id in &ids {
-        match experiments::run(id) {
+        match experiments::run_opts(id, smoke) {
             Some(t) => {
                 writeln!(out, "{}", t.render()).expect("stdout");
                 tables.push(t);

@@ -9,18 +9,36 @@ pub mod naive_exp;
 pub mod optimality_exp;
 pub mod primitives_exp;
 pub mod spanning_exp;
+pub mod wallclock_exp;
 
 use crate::table::Table;
 
 /// All experiment ids in presentation order (T/F reproduce the paper's
-/// evaluation; X are this library's extensions; R are robustness).
-pub const ALL_IDS: [&str; 16] = [
-    "t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4", "x1", "x2", "x3", "x4", "x5", "x6", "r1",
+/// evaluation; X are this library's extensions; R are robustness;
+/// `wallclock` measures the simulator's own host time).
+pub const ALL_IDS: [&str; 17] = [
+    "t1",
+    "t2",
+    "t3",
+    "t4",
+    "t5",
+    "f1",
+    "f2",
+    "f3",
+    "f4",
+    "x1",
+    "x2",
+    "x3",
+    "x4",
+    "x5",
+    "x6",
+    "r1",
+    "wallclock",
 ];
 
 /// `(id, one-line description)` for every experiment, in [`ALL_IDS`]
 /// order — what `reproduce --list` prints.
-pub const DESCRIPTIONS: [(&str, &str); 16] = [
+pub const DESCRIPTIONS: [(&str, &str); 17] = [
     ("t1", "primitive timings vs matrix size (p = 1024, CM-2 model)"),
     ("t2", "primitive timings vs machine size (n = 1024, CM-2 model)"),
     ("t3", "naive (general router) vs primitives, application kernels (p = 256)"),
@@ -37,11 +55,23 @@ pub const DESCRIPTIONS: [(&str, &str); 16] = [
     ("x5", "shape stability under different cost constants (p = 256, matvec)"),
     ("x6", "histogram: dense vs sparse all-to-all reduction (p = 256, B = 1024)"),
     ("r1", "fault-sweep: elimination under drops, dead links and degradation (p = 16)"),
+    (
+        "wallclock",
+        "host wall-clock: slab data plane vs seed nested-Vec path (+ BENCH_wallclock.json)",
+    ),
 ];
 
 /// Run one experiment by id (case-insensitive). `None` for unknown ids.
 #[must_use]
 pub fn run(id: &str) -> Option<Table> {
+    run_opts(id, false)
+}
+
+/// As [`run`], with knobs: `smoke` shrinks the wall-clock experiment to
+/// CI-sized inputs (ignored by the simulated-time experiments, whose
+/// sizes are part of what they reproduce).
+#[must_use]
+pub fn run_opts(id: &str, smoke: bool) -> Option<Table> {
     match id.to_ascii_lowercase().as_str() {
         "t1" => Some(primitives_exp::t1()),
         "t2" => Some(primitives_exp::t2()),
@@ -59,6 +89,7 @@ pub fn run(id: &str) -> Option<Table> {
         "x5" => Some(extensions_exp::x5()),
         "x6" => Some(extensions_exp::x6()),
         "r1" => Some(fault_exp::r1()),
+        "wallclock" => Some(wallclock_exp::wallclock(smoke)),
         _ => None,
     }
 }
@@ -96,6 +127,7 @@ mod tests {
                         | "x5"
                         | "x6"
                         | "r1"
+                        | "wallclock"
                 ),
                 "{id} should be dispatchable"
             );

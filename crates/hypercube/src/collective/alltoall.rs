@@ -2,9 +2,70 @@
 
 use super::check_dims;
 use crate::machine::Hypercube;
+use crate::slab::SegSlab;
 
-/// An in-flight item: `(src_coord, dst_coord, payload)`.
-type InFlightItem<T> = (usize, usize, Vec<T>);
+/// All-to-all personalized exchange over a flat [`SegSlab`]: on entry,
+/// the member at coordinate `s` holds segment `c` = the block bound for
+/// coordinate `c`; on return, the member at coordinate `c` holds the
+/// blocks from every source, indexed by source coordinate.
+///
+/// The standard hypercube store-and-forward schedule (step `j` forwards
+/// every in-flight block whose destination differs in coordinate bit
+/// `j`) is charged **analytically**: at entry to step `j` the node at
+/// coordinate `c` holds exactly the blocks `(s, d)` with `s ≡ c` on
+/// coordinate bits `≥ j` and `d ≡ c` on bits `< j`, so each step's
+/// channel loads follow from the original block lengths without moving
+/// anything. The final placement — `out[c][s] = send[s][c]` within each
+/// subcube — is one pass. Same clock, counters, and fault interaction as
+/// [`super::reference::alltoall`], but `O(total)` host copying instead
+/// of `O(total * |dims| / 2)`.
+pub fn alltoall_slab<T: Copy>(hc: &mut Hypercube, send: &SegSlab<T>, dims: &[u32]) -> SegSlab<T> {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    let k = dims.len();
+    let blocks_per_node = 1usize << k;
+    assert_eq!(send.p(), cube.nodes());
+    assert_eq!(send.nseg(), blocks_per_node, "need one block per destination coordinate");
+
+    for j in 0..k {
+        let bit = 1usize << j;
+        let chan = 1usize << dims[j];
+        let low_mask = bit - 1;
+        let mut max_fwd = 0usize;
+        let mut total: u64 = 0;
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for node in cube.iter_nodes() {
+            let my_c = cube.extract_coords(node, dims);
+            // Held blocks (s, d): s ≡ my_c on bits >= j, d ≡ my_c on
+            // bits < j. Forwarded now: those whose d bit j differs.
+            let mut fwd_elems = 0usize;
+            for s_low in 0..bit {
+                let s = (my_c & !low_mask) | s_low;
+                let src_node = cube.with_coords(node, s, dims);
+                for d_high in 0..(1usize << (k - j - 1)) {
+                    let d = (my_c & low_mask) | ((my_c ^ bit) & bit) | (d_high << (j + 1));
+                    fwd_elems += send.seg_len(src_node, d);
+                }
+            }
+            if fwd_elems > 0 {
+                pairs.push((node, node ^ chan));
+            }
+            max_fwd = max_fwd.max(fwd_elems);
+            total += fwd_elems as u64;
+        }
+        hc.charge_exchange_step(&pairs, max_fwd, total);
+    }
+
+    // One placement pass: at each node, blocks indexed by source coord.
+    let mut out = SegSlab::with_capacity(blocks_per_node, cube.nodes(), send.total_len());
+    for node in cube.iter_nodes() {
+        let my_c = cube.extract_coords(node, dims);
+        for s in 0..blocks_per_node {
+            out.push_seg(send.seg(cube.with_coords(node, s, dims), my_c));
+        }
+    }
+    out
+}
 
 /// All-to-all personalized exchange within every subcube spanned by
 /// `dims`: on entry, member `s` holds `send[s][c]` = the block bound for
@@ -17,72 +78,25 @@ type InFlightItem<T> = (usize, usize, Vec<T>);
 /// destination differs in coordinate bit `j`. Each step moves half of
 /// each node's data, so time is `|dims| * (alpha + beta * B * 2^{k-1})`
 /// for uniform block size `B` — the classic `O(B p lg p / 2)` transfer
-/// volume (Johnsson & Ho TR-610).
-pub fn alltoall<T>(hc: &mut Hypercube, send: Vec<Vec<Vec<T>>>, dims: &[u32]) -> Vec<Vec<Vec<T>>> {
+/// volume (Johnsson & Ho TR-610). Thin adapter over [`alltoall_slab`].
+pub fn alltoall<T: Copy>(
+    hc: &mut Hypercube,
+    send: Vec<Vec<Vec<T>>>,
+    dims: &[u32],
+) -> Vec<Vec<Vec<T>>> {
     let cube = hc.cube();
     check_dims(cube, dims);
-    let k = dims.len();
-    let blocks_per_node = 1usize << k;
+    let blocks_per_node = 1usize << dims.len();
     assert_eq!(send.len(), cube.nodes());
-
-    let mut in_flight: Vec<Vec<InFlightItem<T>>> = Vec::with_capacity(cube.nodes());
-    for (node, blocks) in send.into_iter().enumerate() {
+    for (node, blocks) in send.iter().enumerate() {
         assert_eq!(
             blocks.len(),
             blocks_per_node,
             "node {node}: need one block per destination coordinate"
         );
-        let src = cube.extract_coords(node, dims);
-        in_flight
-            .push(blocks.into_iter().enumerate().map(|(dst, data)| (src, dst, data)).collect());
     }
-
-    for j in 0..k {
-        let bit = 1usize << j;
-        let chan = 1usize << dims[j];
-        let mut max_fwd = 0usize;
-        let mut total: u64 = 0;
-        let mut pairs: Vec<(usize, usize)> = Vec::new();
-        // (destination node, in-flight item)
-        let mut moved: Vec<(usize, InFlightItem<T>)> = Vec::new();
-        for node in cube.iter_nodes() {
-            let my_c = cube.extract_coords(node, dims);
-            let held = std::mem::take(&mut in_flight[node]);
-            let mut stay = Vec::with_capacity(held.len());
-            let mut fwd_elems = 0usize;
-            for item in held {
-                if (item.1 ^ my_c) & bit != 0 {
-                    fwd_elems += item.2.len();
-                    moved.push((node ^ chan, item));
-                } else {
-                    stay.push(item);
-                }
-            }
-            in_flight[node] = stay;
-            if fwd_elems > 0 {
-                pairs.push((node, node ^ chan));
-            }
-            max_fwd = max_fwd.max(fwd_elems);
-            total += fwd_elems as u64;
-        }
-        for (dst_node, item) in moved {
-            in_flight[dst_node].push(item);
-        }
-        hc.charge_exchange_step(&pairs, max_fwd, total);
-    }
-
-    // Reassemble: at each node, blocks indexed by source coordinate.
-    in_flight
-        .into_iter()
-        .map(|items| {
-            let mut slots: Vec<Option<Vec<T>>> = (0..blocks_per_node).map(|_| None).collect();
-            for (src, _dst, data) in items {
-                debug_assert!(slots[src].is_none(), "duplicate block from source {src}");
-                slots[src] = Some(data);
-            }
-            slots.into_iter().map(|s| s.expect("one block from every source")).collect()
-        })
-        .collect()
+    let slab = SegSlab::from_nested(&send, blocks_per_node);
+    alltoall_slab(hc, &slab, dims).to_nested()
 }
 
 #[cfg(test)]
@@ -149,6 +163,22 @@ mod tests {
             assert_eq!(recv[n], vec![vec![n as u8]]);
         }
         assert_eq!(hc.elapsed_us(), 0.0);
+    }
+
+    #[test]
+    fn slab_alltoall_matches_reference_on_ragged_blocks() {
+        use super::super::reference;
+        let dims = [1u32, 2];
+        let send: Vec<Vec<Vec<u16>>> = (0..8)
+            .map(|s| (0..4).map(|c| vec![(s * 10 + c) as u16; (s + c) % 3]).collect())
+            .collect();
+        let mut hc1 = unit_machine(3);
+        let a = reference::alltoall(&mut hc1, send.clone(), &dims);
+        let mut hc2 = unit_machine(3);
+        let b = alltoall(&mut hc2, send, &dims);
+        assert_eq!(a, b);
+        assert_eq!(hc1.elapsed_us(), hc2.elapsed_us());
+        assert_eq!(hc1.counters(), hc2.counters());
     }
 
     #[test]

@@ -1,35 +1,90 @@
 //! Pairwise exchange along one cube dimension.
 
 use crate::machine::Hypercube;
+use crate::slab::NodeSlab;
+
+/// Compute the exchange schedule: `(pairs, max_len, total)` from the
+/// per-node lengths, exactly as the seed implementation charged it.
+fn exchange_schedule(
+    p: usize,
+    bit: usize,
+    len_of: impl Fn(usize) -> usize,
+) -> (Vec<(usize, usize)>, usize, u64) {
+    let mut max_len = 0usize;
+    let mut total: u64 = 0;
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(p / 2);
+    for node in 0..p {
+        let len = len_of(node ^ bit);
+        max_len = max_len.max(len);
+        total += len as u64;
+        if node & bit == 0 {
+            pairs.push((node, node | bit));
+        }
+    }
+    (pairs, max_len, total)
+}
 
 /// Every node receives a copy of its `dim`-neighbour's buffer (keeping
 /// its own): the primitive step of butterfly algorithms (FFT stages,
 /// bitonic compare-exchange, all-reduce). One superstep,
 /// `alpha + beta * L` on full-duplex channels.
 ///
+/// `T: Copy` so the per-node copies compile to `memcpy`; callers that
+/// don't need to keep their own buffer should use
+/// [`exchange_in_place`] (zero-copy) or [`exchange_slab`].
+///
 /// # Panics
 /// Panics if `dim` is out of range.
-pub fn exchange<T: Clone>(hc: &mut Hypercube, locals: &[Vec<T>], dim: u32) -> Vec<Vec<T>> {
+pub fn exchange<T: Copy>(hc: &mut Hypercube, locals: &[Vec<T>], dim: u32) -> Vec<Vec<T>> {
     let cube = hc.cube();
     assert!(dim < cube.dim(), "dimension {dim} out of range for cube of dim {}", cube.dim());
     assert_eq!(locals.len(), cube.nodes());
     let bit = 1usize << dim;
-    let mut max_len = 0usize;
-    let mut total: u64 = 0;
-    let mut pairs: Vec<(usize, usize)> = Vec::new();
-    let out: Vec<Vec<T>> = (0..cube.nodes())
-        .map(|node| {
-            let buf = &locals[node ^ bit];
-            max_len = max_len.max(buf.len());
-            total += buf.len() as u64;
-            if node & bit == 0 {
-                pairs.push((node, node | bit));
-            }
-            buf.clone()
-        })
-        .collect();
+    let (pairs, max_len, total) = exchange_schedule(cube.nodes(), bit, |n| locals[n].len());
+    let out: Vec<Vec<T>> = (0..cube.nodes()).map(|node| locals[node ^ bit].to_vec()).collect();
     hc.charge_exchange_step(&pairs, max_len, total);
     out
+}
+
+/// As [`exchange`], but **swapping** the per-node buffers in place: node
+/// `n` ends holding what `n ^ 2^dim` held (its own buffer is given
+/// away). Zero element copies — the `Vec` handles are swapped — and no
+/// trait bounds. Same charge as [`exchange`].
+pub fn exchange_in_place<T>(hc: &mut Hypercube, locals: &mut [Vec<T>], dim: u32) {
+    let cube = hc.cube();
+    assert!(dim < cube.dim(), "dimension {dim} out of range for cube of dim {}", cube.dim());
+    assert_eq!(locals.len(), cube.nodes());
+    let bit = 1usize << dim;
+    let (pairs, max_len, total) = exchange_schedule(cube.nodes(), bit, |n| locals[n].len());
+    for &(lo, hi) in &pairs {
+        locals.swap(lo, hi);
+    }
+    hc.charge_exchange_step(&pairs, max_len, total);
+}
+
+/// As [`exchange_in_place`], over a flat [`NodeSlab`]: each segment ends
+/// holding its `dim`-neighbour's previous content. When partner
+/// segments have equal lengths (the common, load-balanced case) this is
+/// an in-arena `swap_with_slice`; otherwise one rebuild pass.
+pub fn exchange_slab<T: Copy>(hc: &mut Hypercube, slab: &mut NodeSlab<T>, dim: u32) {
+    let cube = hc.cube();
+    assert!(dim < cube.dim(), "dimension {dim} out of range for cube of dim {}", cube.dim());
+    assert_eq!(slab.p(), cube.nodes());
+    let bit = 1usize << dim;
+    let (pairs, max_len, total) = exchange_schedule(cube.nodes(), bit, |n| slab.len_of(n));
+    if pairs.iter().all(|&(lo, hi)| slab.len_of(lo) == slab.len_of(hi)) {
+        for &(lo, hi) in &pairs {
+            let (a, b) = slab.pair_mut(lo, hi);
+            a.swap_with_slice(b);
+        }
+    } else {
+        let mut out = NodeSlab::with_capacity(slab.p(), slab.total_len());
+        for node in 0..slab.p() {
+            out.push_seg(&slab[node ^ bit]);
+        }
+        slab.swap(&mut out);
+    }
+    hc.charge_exchange_step(&pairs, max_len, total);
 }
 
 #[cfg(test)]
@@ -63,6 +118,34 @@ mod tests {
         let once = exchange(&mut hc, &locals, 3);
         let twice = exchange(&mut hc, &once, 3);
         assert_eq!(twice, locals);
+    }
+
+    #[test]
+    fn in_place_exchange_matches_copying_exchange() {
+        let mut hc1 = unit_machine(3);
+        let locals = hc1.locals_from_fn(|n| vec![n as u32; (n % 4) + 1]);
+        let copied = exchange(&mut hc1, &locals, 2);
+        let mut hc2 = unit_machine(3);
+        let mut moved = locals.clone();
+        exchange_in_place(&mut hc2, &mut moved, 2);
+        assert_eq!(moved, copied);
+        assert_eq!(hc1.elapsed_us(), hc2.elapsed_us());
+        assert_eq!(hc1.counters(), hc2.counters());
+    }
+
+    #[test]
+    fn slab_exchange_matches_for_equal_and_ragged_lengths() {
+        for ragged in [false, true] {
+            let mut hc1 = unit_machine(3);
+            let locals = hc1.locals_from_fn(|n| vec![n as u16; if ragged { n % 3 } else { 2 }]);
+            let copied = exchange(&mut hc1, &locals, 0);
+            let mut hc2 = unit_machine(3);
+            let mut slab = NodeSlab::from_nested(&locals);
+            exchange_slab(&mut hc2, &mut slab, 0);
+            assert_eq!(slab.to_nested(), copied, "ragged={ragged}");
+            assert_eq!(hc1.elapsed_us(), hc2.elapsed_us());
+            assert_eq!(hc1.counters(), hc2.counters());
+        }
     }
 
     #[test]

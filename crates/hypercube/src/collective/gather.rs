@@ -3,25 +3,36 @@
 //! Concatenation/segmentation order is subcube **coordinate order**. The
 //! gather/scatter roots are at subcube coordinate 0 (callers needing a
 //! different root compose with a routed move — none of the primitives do).
+//!
+//! All three run **charge-then-place** over the flat slab: the per-step
+//! loads of the binomial/recursive-doubling schedules are computed
+//! analytically from segment lengths (each step is charged exactly as
+//! the hop-by-hop seed implementation in [`super::reference`] charges
+//! it), and the final buffer contents — which are deterministic — are
+//! materialised in a single pass. This removes the `O(total * steps)`
+//! host copying of the nested-`Vec` data plane.
 
 use super::check_dims;
 use crate::machine::Hypercube;
+use crate::slab::{NodeSlab, SegSlab};
 
-/// All-gather within every subcube spanned by `dims`: every member ends
-/// holding the concatenation of all members' buffers in coordinate order.
+/// All-gather over a flat [`NodeSlab`]: every segment ends holding the
+/// concatenation of its subcube's segments in coordinate order.
 ///
 /// Recursive doubling: step `j` exchanges the current accumulation along
 /// `dims[j]`, so time is `sum_j (alpha + beta * L_j)` with `L_j`
 /// doubling — `|dims| * alpha + beta * (total - own)` overall, the
 /// one-port lower bound to within a constant.
-pub fn allgather<T: Clone>(hc: &mut Hypercube, locals: &mut [Vec<T>], dims: &[u32]) {
+pub fn allgather_slab<T: Copy>(hc: &mut Hypercube, slab: &mut NodeSlab<T>, dims: &[u32]) {
     let cube = hc.cube();
     check_dims(cube, dims);
-    assert_eq!(locals.len(), cube.nodes());
+    assert_eq!(slab.p(), cube.nodes());
+    let k = dims.len();
 
-    for (j, &d) in dims.iter().enumerate() {
+    // Charge the recursive-doubling schedule from lengths alone.
+    let mut lens: Vec<usize> = (0..slab.p()).map(|n| slab.len_of(n)).collect();
+    for &d in dims {
         let chan = 1usize << d;
-        let _ = j;
         let mut max_len = 0usize;
         let mut total: u64 = 0;
         let mut pairs: Vec<(usize, usize)> = Vec::new();
@@ -31,36 +42,55 @@ pub fn allgather<T: Clone>(hc: &mut Hypercube, locals: &mut [Vec<T>], dims: &[u3
             }
             let partner = node | chan;
             pairs.push((node, partner));
-            let lo_len = locals[node].len();
-            let hi_len = locals[partner].len();
+            let (lo_len, hi_len) = (lens[node], lens[partner]);
             max_len = max_len.max(lo_len.max(hi_len));
             total += (lo_len + hi_len) as u64;
-            // Lower node appends upper's buffer; upper node prepends
-            // lower's — both end with coordinate order.
-            let (lo_part, hi_part) = locals.split_at_mut(partner);
-            let lo = &mut lo_part[node];
-            let hi = &mut hi_part[0];
-            let mut merged = Vec::with_capacity(lo.len() + hi.len());
-            merged.extend_from_slice(lo);
-            merged.extend_from_slice(hi);
-            *lo = merged.clone();
-            *hi = merged;
+            let merged = lo_len + hi_len;
+            lens[node] = merged;
+            lens[partner] = merged;
         }
         hc.charge_exchange_step(&pairs, max_len, total);
     }
+    if k == 0 {
+        return;
+    }
+
+    // One placement pass: node <- concat of its subcube, coordinate order.
+    let total_out: usize = lens.iter().sum();
+    let mut out = NodeSlab::with_capacity(slab.p(), total_out);
+    for node in 0..slab.p() {
+        out.push_seg_with(|data| {
+            for c in 0..(1usize << k) {
+                data.extend_from_slice(&slab[cube.with_coords(node, c, dims)]);
+            }
+        });
+    }
+    slab.swap(&mut out);
 }
 
-/// Gather to subcube coordinate 0: the root ends holding the
-/// concatenation of all members' buffers in coordinate order; every other
-/// member's buffer is consumed (left empty).
+/// All-gather within every subcube spanned by `dims`: every member ends
+/// holding the concatenation of all members' buffers in coordinate order.
+/// Thin adapter over [`allgather_slab`].
+pub fn allgather<T: Copy>(hc: &mut Hypercube, locals: &mut [Vec<T>], dims: &[u32]) {
+    assert_eq!(locals.len(), hc.cube().nodes());
+    let mut slab = NodeSlab::from_nested(locals);
+    allgather_slab(hc, &mut slab, dims);
+    slab.write_nested(locals);
+}
+
+/// Gather over a flat [`NodeSlab`]: the node at subcube coordinate 0
+/// ends holding the concatenation of all members' segments in
+/// coordinate order; every other member's segment becomes empty.
 ///
-/// Reverse binomial tree: at step `j` the nodes whose coordinate is an odd
-/// multiple of `2^j` forward their accumulation down dimension `dims[j]`.
-pub fn gather<T>(hc: &mut Hypercube, locals: &mut [Vec<T>], dims: &[u32]) {
+/// Reverse binomial tree: at step `j` the nodes whose coordinate is an
+/// odd multiple of `2^j` forward their accumulation down `dims[j]`.
+pub fn gather_slab<T: Copy>(hc: &mut Hypercube, slab: &mut NodeSlab<T>, dims: &[u32]) {
     let cube = hc.cube();
     check_dims(cube, dims);
-    assert_eq!(locals.len(), cube.nodes());
+    assert_eq!(slab.p(), cube.nodes());
+    let k = dims.len();
 
+    let mut lens: Vec<usize> = (0..slab.p()).map(|n| slab.len_of(n)).collect();
     for (j, &d) in dims.iter().enumerate() {
         let bit = 1usize << j;
         let chan = 1usize << d;
@@ -72,77 +102,148 @@ pub fn gather<T>(hc: &mut Hypercube, locals: &mut [Vec<T>], dims: &[u32]) {
             // Senders this step: coordinate has bit j set, bits < j clear.
             if c & bit != 0 && c & (bit - 1) == 0 {
                 let dst = node ^ chan;
-                let len = locals[node].len();
+                let len = lens[node];
                 max_len = max_len.max(len);
                 total += len as u64;
                 sends.push((node, dst));
             }
         }
         for &(src, dst) in &sends {
-            let mut sent = std::mem::take(&mut locals[src]);
-            locals[dst].append(&mut sent);
+            lens[dst] += lens[src];
+            lens[src] = 0;
         }
         hc.charge_exchange_step(&sends, max_len, total);
     }
+    if k == 0 {
+        return;
+    }
+
+    let mut out = NodeSlab::with_capacity(slab.p(), slab.total_len());
+    for node in 0..slab.p() {
+        let c = cube.extract_coords(node, dims);
+        out.push_seg_with(|data| {
+            if c == 0 {
+                for cc in 0..(1usize << k) {
+                    data.extend_from_slice(&slab[cube.with_coords(node, cc, dims)]);
+                }
+            }
+        });
+    }
+    slab.swap(&mut out);
 }
 
-/// Scatter from subcube coordinate 0: the root's `segments` (one per
-/// coordinate, in coordinate order) are distributed so that the member at
-/// coordinate `c` ends holding `segments[c]` as its buffer. Non-root
-/// buffers are overwritten; the root keeps `segments[0]`.
+/// Gather to subcube coordinate 0: the root ends holding the
+/// concatenation of all members' buffers in coordinate order; every other
+/// member's buffer is consumed (left empty). Thin adapter over
+/// [`gather_slab`].
+pub fn gather<T: Copy>(hc: &mut Hypercube, locals: &mut [Vec<T>], dims: &[u32]) {
+    assert_eq!(locals.len(), hc.cube().nodes());
+    let mut slab = NodeSlab::from_nested(locals);
+    gather_slab(hc, &mut slab, dims);
+    slab.write_nested(locals);
+}
+
+/// Scatter over a flat [`SegSlab`]: each subcube root's `2^{|dims|}`
+/// segments (coordinate order) are distributed so the member at
+/// coordinate `c` ends holding segment `c`. Non-root nodes must carry
+/// only empty segments.
 ///
 /// # Panics
-/// Panics unless `segments.len() == 2^{|dims|}` at every subcube root
-/// (roots are identified by coordinate 0; pass `segments[node]` empty
-/// `Vec`s elsewhere — they are ignored).
-pub fn scatter<T>(hc: &mut Hypercube, segments: Vec<Vec<Vec<T>>>, dims: &[u32]) -> Vec<Vec<T>> {
+/// Panics unless `segments.nseg() == 2^{|dims|}` and every non-root
+/// node's segments are empty.
+pub fn scatter_slab<T: Copy>(
+    hc: &mut Hypercube,
+    segments: &SegSlab<T>,
+    dims: &[u32],
+) -> NodeSlab<T> {
     let cube = hc.cube();
     check_dims(cube, dims);
     let k = dims.len();
-    assert_eq!(segments.len(), cube.nodes());
+    let nseg = 1usize << k;
+    assert_eq!(segments.p(), cube.nodes());
+    assert_eq!(segments.nseg(), nseg, "root must supply 2^k segments");
 
-    // holdings[node] = (first_coord, segments for coords [first, first + len))
-    let mut holdings: Vec<Vec<Vec<T>>> = Vec::with_capacity(cube.nodes());
-    for (node, segs) in segments.into_iter().enumerate() {
+    // Per-root prefix sums over segment lengths; non-root nodes must be
+    // empty.
+    let mut prefix: Vec<Vec<usize>> = vec![Vec::new(); cube.nodes()];
+    for node in cube.iter_nodes() {
         let c = cube.extract_coords(node, dims);
         if c == 0 {
-            assert_eq!(segs.len(), 1usize << k, "root must supply 2^k segments");
-            holdings.push(segs);
+            let mut ps = Vec::with_capacity(nseg + 1);
+            ps.push(0usize);
+            for s in 0..nseg {
+                ps.push(ps[s] + segments.seg_len(node, s));
+            }
+            prefix[node] = ps;
         } else {
-            assert!(segs.is_empty(), "non-root nodes must not supply segments");
-            holdings.push(Vec::new());
+            let held: usize = (0..nseg).map(|s| segments.seg_len(node, s)).sum();
+            assert_eq!(held, 0, "non-root nodes must not supply segments");
         }
     }
 
+    // Charge the binomial-tree schedule: before step j (descending), the
+    // holders are the coordinates that are multiples of 2^{j+1}, each
+    // holding its root's segments [c, c + 2^{j+1}); step j sends the
+    // upper half [c + 2^j, c + 2^{j+1}) along dims[j].
     for j in (0..k).rev() {
         let bit = 1usize << j;
         let chan = 1usize << dims[j];
         let mut max_len = 0usize;
         let mut total: u64 = 0;
-        let mut sends: Vec<(usize, usize, Vec<Vec<T>>)> = Vec::new();
+        let mut sends: Vec<(usize, usize)> = Vec::new();
         for node in cube.iter_nodes() {
             let c = cube.extract_coords(node, dims);
-            // Holders this step: bits <= j of the coordinate all clear.
-            if c & ((bit << 1) - 1) == 0 && !holdings[node].is_empty() {
-                // Send the upper half of held segments to the neighbour.
-                let upper = holdings[node].split_off(bit);
-                let len: usize = upper.iter().map(Vec::len).sum();
+            if c & ((bit << 1) - 1) == 0 {
+                let root = cube.with_coords(node, 0, dims);
+                let ps = &prefix[root];
+                let len = ps[c + (bit << 1)] - ps[c + bit];
                 max_len = max_len.max(len);
                 total += len as u64;
-                sends.push((node, node ^ chan, upper));
+                sends.push((node, node ^ chan));
             }
         }
-        let pairs: Vec<(usize, usize)> = sends.iter().map(|&(src, dst, _)| (src, dst)).collect();
-        for (_src, dst, segs) in sends {
-            holdings[dst] = segs;
-        }
-        hc.charge_exchange_step(&pairs, max_len, total);
+        hc.charge_exchange_step(&sends, max_len, total);
     }
 
-    holdings
-        .into_iter()
-        .map(|mut segs| if segs.is_empty() { Vec::new() } else { segs.swap_remove(0) })
-        .collect()
+    // One placement pass: coordinate c receives its root's segment c.
+    let mut out = NodeSlab::with_capacity(cube.nodes(), segments.total_len());
+    for node in cube.iter_nodes() {
+        let c = cube.extract_coords(node, dims);
+        let root = cube.with_coords(node, 0, dims);
+        out.push_seg(segments.seg(root, c));
+    }
+    out
+}
+
+/// Scatter from subcube coordinate 0: the root's `segments` (one per
+/// coordinate, in coordinate order) are distributed so that the member at
+/// coordinate `c` ends holding `segments[c]` as its buffer. Non-root
+/// buffers are overwritten; the root keeps `segments[0]`. Thin adapter
+/// over [`scatter_slab`].
+///
+/// # Panics
+/// Panics unless `segments.len() == 2^{|dims|}` at every subcube root
+/// (roots are identified by coordinate 0; pass `segments[node]` empty
+/// `Vec`s elsewhere — they are ignored).
+pub fn scatter<T: Copy>(
+    hc: &mut Hypercube,
+    segments: Vec<Vec<Vec<T>>>,
+    dims: &[u32],
+) -> Vec<Vec<T>> {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    let k = dims.len();
+    assert_eq!(segments.len(), cube.nodes());
+    for (node, segs) in segments.iter().enumerate() {
+        let c = cube.extract_coords(node, dims);
+        if c == 0 {
+            assert_eq!(segs.len(), 1usize << k, "root must supply 2^k segments");
+        } else {
+            assert!(segs.is_empty(), "non-root nodes must not supply segments");
+        }
+    }
+    let slab = SegSlab::from_nested(&segments, 1usize << k);
+    scatter_slab(hc, &slab, dims).to_nested()
 }
 
 #[cfg(test)]
@@ -274,5 +375,53 @@ mod tests {
         let before = locals.clone();
         allgather(&mut hc, &mut locals, &[]);
         assert_eq!(locals, before);
+    }
+
+    #[test]
+    fn slab_paths_match_reference_clocks_on_ragged_inputs() {
+        use super::super::reference;
+        let dims = [1u32, 2];
+        // allgather
+        let mut hc1 = unit_machine(3);
+        let mut a = hc1.locals_from_fn(|n| vec![n as u64; n % 4]);
+        let mut b = a.clone();
+        reference::allgather(&mut hc1, &mut a, &dims);
+        let mut hc2 = unit_machine(3);
+        allgather(&mut hc2, &mut b, &dims);
+        assert_eq!(a, b);
+        assert_eq!(hc1.elapsed_us(), hc2.elapsed_us());
+        assert_eq!(hc1.counters(), hc2.counters());
+        // gather
+        let mut hc3 = unit_machine(3);
+        let mut c = hc3.locals_from_fn(|n| vec![n as u64; n % 4]);
+        let mut d = c.clone();
+        reference::gather(&mut hc3, &mut c, &dims);
+        let mut hc4 = unit_machine(3);
+        gather(&mut hc4, &mut d, &dims);
+        assert_eq!(c, d);
+        assert_eq!(hc3.elapsed_us(), hc4.elapsed_us());
+        assert_eq!(hc3.counters(), hc4.counters());
+    }
+
+    #[test]
+    fn slab_scatter_matches_reference_clock() {
+        use super::super::reference;
+        let dims = [0u32, 2];
+        let segs: Vec<Vec<Vec<u32>>> = (0..8)
+            .map(|n| {
+                if n == 0 || n == 2 {
+                    (0..4).map(|c| vec![(n * 100 + c) as u32; c + 1]).collect()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let mut hc1 = unit_machine(3);
+        let a = reference::scatter(&mut hc1, segs.clone(), &dims);
+        let mut hc2 = unit_machine(3);
+        let b = scatter(&mut hc2, segs, &dims);
+        assert_eq!(a, b);
+        assert_eq!(hc1.elapsed_us(), hc2.elapsed_us());
+        assert_eq!(hc1.counters(), hc2.counters());
     }
 }

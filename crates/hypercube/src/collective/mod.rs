@@ -23,14 +23,15 @@ mod broadcast;
 mod exchange;
 mod gather;
 mod reduce;
+pub mod reference;
 mod scan;
 
-pub use alltoall::alltoall;
-pub use broadcast::broadcast;
-pub use exchange::exchange;
-pub use gather::{allgather, gather, scatter};
-pub use reduce::{allreduce, reduce};
-pub use scan::{scan_exclusive, scan_inclusive};
+pub use alltoall::{alltoall, alltoall_slab};
+pub use broadcast::{broadcast, broadcast_slab};
+pub use exchange::{exchange, exchange_in_place, exchange_slab};
+pub use gather::{allgather, allgather_slab, gather, gather_slab, scatter, scatter_slab};
+pub use reduce::{allreduce, allreduce_slab, reduce, reduce_slab};
+pub use scan::{scan_exclusive, scan_exclusive_slab, scan_inclusive, scan_inclusive_slab};
 
 use crate::topology::Cube;
 

@@ -2,15 +2,87 @@
 
 use super::check_dims;
 use crate::machine::Hypercube;
+use crate::slab::NodeSlab;
+
+/// Reduce over a flat [`NodeSlab`]: within every subcube spanned by
+/// `dims`, the equal-length segments of all members are combined
+/// elementwise with the **commutative associative** operator `op`,
+/// leaving the result in the segment of the node at subcube coordinate
+/// `root_coord` and emptying every other member's segment.
+///
+/// Reverse spanning-binomial-tree: `|dims|` supersteps, each costing
+/// `alpha + (beta + gamma) * L`. Combines run in place through
+/// [`NodeSlab::pair_mut`] — no buffer is taken, cloned, or reallocated
+/// until one final compaction pass.
+///
+/// # Panics
+/// Panics if the segments within a subcube have different lengths, or on
+/// an invalid `dims`/`root_coord`.
+pub fn reduce_slab<T: Copy>(
+    hc: &mut Hypercube,
+    slab: &mut NodeSlab<T>,
+    dims: &[u32],
+    root_coord: usize,
+    op: impl Fn(T, T) -> T,
+) {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    let k = dims.len();
+    assert!(root_coord < (1usize << k), "root coordinate out of range");
+    assert_eq!(slab.p(), cube.nodes());
+    if k == 0 {
+        return;
+    }
+
+    // Live lengths: a sender's segment is logically consumed (the slab
+    // keeps its stale bytes until the final compaction).
+    let mut lens: Vec<usize> = (0..slab.p()).map(|n| slab.len_of(n)).collect();
+    for j in (0..k).rev() {
+        let bit = 1usize << j;
+        // Senders: relative coordinate x in [2^j, 2^{j+1}).
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        let mut max_len = 0usize;
+        let mut total: u64 = 0;
+        for node in cube.iter_nodes() {
+            let x = cube.extract_coords(node, dims) ^ root_coord;
+            if x >= bit && x < bit << 1 {
+                let partner = cube.neighbor(node, dims[j]);
+                let len = lens[node];
+                max_len = max_len.max(len);
+                total += len as u64;
+                pairs.push((node, partner));
+            }
+        }
+        for &(src, dst) in &pairs {
+            let sent_len = lens[src];
+            assert_eq!(
+                sent_len, lens[dst],
+                "reduce requires equal buffer lengths within a subcube"
+            );
+            lens[src] = 0;
+            let (s, d) = slab.pair_mut(src, dst);
+            for (acc, &v) in d[..sent_len].iter_mut().zip(&s[..sent_len]) {
+                *acc = op(*acc, v);
+            }
+        }
+        hc.charge_exchange_step(&pairs, max_len, total);
+        hc.charge_flops(max_len);
+    }
+
+    // Compact: roots keep their combined segment, everyone else empties.
+    let mut out = NodeSlab::with_capacity(slab.p(), lens.iter().sum());
+    for node in 0..slab.p() {
+        out.push_seg(&slab[node][..lens[node]]);
+    }
+    slab.swap(&mut out);
+}
 
 /// Reduce, within every subcube spanned by `dims`, the equal-length
 /// buffers of all members elementwise with the **commutative associative**
 /// operator `op`, leaving the result in the buffer of the node at subcube
 /// coordinate `root_coord` and **clearing** every other member's buffer
-/// (their partial contents are meaningless after the exchange).
-///
-/// Reverse spanning-binomial-tree: `|dims|` supersteps, each costing
-/// `alpha + (beta + gamma) * L`.
+/// (their partial contents are meaningless after the exchange). Thin
+/// adapter over [`reduce_slab`].
 ///
 /// # Panics
 /// Panics if the buffers within a subcube have different lengths, or on an
@@ -22,63 +94,29 @@ pub fn reduce<T: Copy>(
     root_coord: usize,
     op: impl Fn(T, T) -> T,
 ) {
-    let cube = hc.cube();
-    check_dims(cube, dims);
-    let k = dims.len();
-    assert!(root_coord < (1usize << k), "root coordinate out of range");
-    assert_eq!(locals.len(), cube.nodes());
-    if k == 0 {
-        return;
-    }
-
-    for j in (0..k).rev() {
-        let bit = 1usize << j;
-        // Senders: relative coordinate x in [2^j, 2^{j+1}).
-        let mut pairs: Vec<(usize, usize)> = Vec::new();
-        let mut max_len = 0usize;
-        let mut total: u64 = 0;
-        for node in cube.iter_nodes() {
-            let x = cube.extract_coords(node, dims) ^ root_coord;
-            if x >= bit && x < bit << 1 {
-                let partner = cube.neighbor(node, dims[j]);
-                let len = locals[node].len();
-                max_len = max_len.max(len);
-                total += len as u64;
-                pairs.push((node, partner));
-            }
-        }
-        for &(src, dst) in &pairs {
-            let sent = std::mem::take(&mut locals[src]);
-            assert_eq!(
-                sent.len(),
-                locals[dst].len(),
-                "reduce requires equal buffer lengths within a subcube"
-            );
-            for (acc, v) in locals[dst].iter_mut().zip(sent) {
-                *acc = op(*acc, v);
-            }
-        }
-        hc.charge_exchange_step(&pairs, max_len, total);
-        hc.charge_flops(max_len);
-    }
+    assert_eq!(locals.len(), hc.cube().nodes());
+    let mut slab = NodeSlab::from_nested(locals);
+    reduce_slab(hc, &mut slab, dims, root_coord, op);
+    slab.write_nested(locals);
 }
 
-/// All-reduce within every subcube spanned by `dims`: after the call every
-/// member holds the elementwise `op`-combination of all members' buffers.
+/// All-reduce over a flat [`NodeSlab`]: after the call every segment in
+/// a subcube holds the elementwise `op`-combination of all of them.
 ///
 /// Butterfly exchange: `|dims|` supersteps of pairwise exchange+combine,
-/// `alpha + (beta + gamma) * L` each — same time as [`reduce`] but the
-/// result is replicated, which is how a row/column reduction keeps a
-/// vector aligned with the grid (no separate broadcast needed).
-pub fn allreduce<T: Copy>(
+/// `alpha + (beta + gamma) * L` each — same time as [`reduce_slab`] but
+/// the result is replicated, which is how a row/column reduction keeps a
+/// vector aligned with the grid (no separate broadcast needed). Fully in
+/// place: the only writes are the combines themselves.
+pub fn allreduce_slab<T: Copy>(
     hc: &mut Hypercube,
-    locals: &mut [Vec<T>],
+    slab: &mut NodeSlab<T>,
     dims: &[u32],
     op: impl Fn(T, T) -> T,
 ) {
     let cube = hc.cube();
     check_dims(cube, dims);
-    assert_eq!(locals.len(), cube.nodes());
+    assert_eq!(slab.p(), cube.nodes());
 
     for &d in dims {
         let bit = 1usize << d;
@@ -93,17 +131,14 @@ pub fn allreduce<T: Copy>(
             let partner = node | bit;
             pairs.push((node, partner));
             assert_eq!(
-                locals[node].len(),
-                locals[partner].len(),
+                slab.len_of(node),
+                slab.len_of(partner),
                 "allreduce requires equal buffer lengths within a subcube"
             );
-            let len = locals[node].len();
+            let len = slab.len_of(node);
             max_len = max_len.max(len);
             total += 2 * len as u64;
-            // Split the slice to combine both sides without cloning.
-            let (lo_part, hi_part) = locals.split_at_mut(partner);
-            let lo = &mut lo_part[node];
-            let hi = &mut hi_part[0];
+            let (lo, hi) = slab.pair_mut(node, partner);
             for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
                 let combined = op(*a, *b);
                 *a = combined;
@@ -113,6 +148,21 @@ pub fn allreduce<T: Copy>(
         hc.charge_exchange_step(&pairs, max_len, total);
         hc.charge_flops(max_len);
     }
+}
+
+/// All-reduce within every subcube spanned by `dims`: after the call every
+/// member holds the elementwise `op`-combination of all members' buffers.
+/// Thin adapter over [`allreduce_slab`].
+pub fn allreduce<T: Copy>(
+    hc: &mut Hypercube,
+    locals: &mut [Vec<T>],
+    dims: &[u32],
+    op: impl Fn(T, T) -> T,
+) {
+    assert_eq!(locals.len(), hc.cube().nodes());
+    let mut slab = NodeSlab::from_nested(locals);
+    allreduce_slab(hc, &mut slab, dims, op);
+    slab.write_nested(locals);
 }
 
 #[cfg(test)]
@@ -205,6 +255,21 @@ mod tests {
         let before = locals.clone();
         reduce(&mut hc, &mut locals, &[], 0, |a, b| a + b);
         assert_eq!(locals, before);
+    }
+
+    #[test]
+    fn slab_reduce_bitwise_matches_reference() {
+        use super::super::reference;
+        let dims = [0u32, 1, 3];
+        let mut hc1 = unit_machine(4);
+        let mut a = hc1.locals_from_fn(|n| vec![(n as f64).sin(); 5]);
+        let mut b = a.clone();
+        reference::reduce(&mut hc1, &mut a, &dims, 2, |x, y| x + y);
+        let mut hc2 = unit_machine(4);
+        reduce(&mut hc2, &mut b, &dims, 2, |x, y| x + y);
+        assert_eq!(a, b, "payload bit-identical (same combine order)");
+        assert_eq!(hc1.elapsed_us(), hc2.elapsed_us());
+        assert_eq!(hc1.counters(), hc2.counters());
     }
 
     #[test]

@@ -1,0 +1,469 @@
+//! The seed nested-`Vec` collective implementations, kept verbatim.
+//!
+//! These are the original, straightforward `Vec<Vec<T>>` data-plane
+//! versions of every collective. They exist for two reasons:
+//!
+//! 1. **Differential testing** — the slab-backed canonical collectives
+//!    (see the sibling modules) must produce bit-identical payloads,
+//!    simulated clocks, and counters; `tests/slab_equiv.rs` checks that
+//!    property against these on random shapes, machine sizes, and fault
+//!    plans.
+//! 2. **Wall-clock baselining** — `reproduce -- wallclock` times the
+//!    slab data plane against this one to quantify the host-side win.
+//!
+//! Do not "optimise" this module: its value is being the known-good
+//! seed semantics.
+
+use super::check_dims;
+use crate::machine::Hypercube;
+use crate::topology::NodeId;
+
+/// Seed [`super::exchange`]: every node receives a copy of its
+/// `dim`-neighbour's buffer, cloning one `Vec` per node.
+pub fn exchange<T: Clone>(hc: &mut Hypercube, locals: &[Vec<T>], dim: u32) -> Vec<Vec<T>> {
+    let cube = hc.cube();
+    assert!(dim < cube.dim(), "dimension {dim} out of range for cube of dim {}", cube.dim());
+    assert_eq!(locals.len(), cube.nodes());
+    let bit = 1usize << dim;
+    let mut max_len = 0usize;
+    let mut total: u64 = 0;
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let out: Vec<Vec<T>> = (0..cube.nodes())
+        .map(|node| {
+            let buf = &locals[node ^ bit];
+            max_len = max_len.max(buf.len());
+            total += buf.len() as u64;
+            if node & bit == 0 {
+                pairs.push((node, node | bit));
+            }
+            buf.clone()
+        })
+        .collect();
+    hc.charge_exchange_step(&pairs, max_len, total);
+    out
+}
+
+/// Seed [`super::allgather`]: recursive doubling with a merged
+/// allocation and a clone per pair per step.
+pub fn allgather<T: Clone>(hc: &mut Hypercube, locals: &mut [Vec<T>], dims: &[u32]) {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    assert_eq!(locals.len(), cube.nodes());
+
+    for (j, &d) in dims.iter().enumerate() {
+        let chan = 1usize << d;
+        let _ = j;
+        let mut max_len = 0usize;
+        let mut total: u64 = 0;
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for node in cube.iter_nodes() {
+            if node & chan != 0 {
+                continue;
+            }
+            let partner = node | chan;
+            pairs.push((node, partner));
+            let lo_len = locals[node].len();
+            let hi_len = locals[partner].len();
+            max_len = max_len.max(lo_len.max(hi_len));
+            total += (lo_len + hi_len) as u64;
+            let (lo_part, hi_part) = locals.split_at_mut(partner);
+            let lo = &mut lo_part[node];
+            let hi = &mut hi_part[0];
+            let mut merged = Vec::with_capacity(lo.len() + hi.len());
+            merged.extend_from_slice(lo);
+            merged.extend_from_slice(hi);
+            *lo = merged.clone();
+            *hi = merged;
+        }
+        hc.charge_exchange_step(&pairs, max_len, total);
+    }
+}
+
+/// Seed [`super::gather`]: reverse binomial tree with `mem::take` +
+/// `append` per hop.
+pub fn gather<T>(hc: &mut Hypercube, locals: &mut [Vec<T>], dims: &[u32]) {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    assert_eq!(locals.len(), cube.nodes());
+
+    for (j, &d) in dims.iter().enumerate() {
+        let bit = 1usize << j;
+        let chan = 1usize << d;
+        let mut max_len = 0usize;
+        let mut total: u64 = 0;
+        let mut sends: Vec<(usize, usize)> = Vec::new();
+        for node in cube.iter_nodes() {
+            let c = cube.extract_coords(node, dims);
+            if c & bit != 0 && c & (bit - 1) == 0 {
+                let dst = node ^ chan;
+                let len = locals[node].len();
+                max_len = max_len.max(len);
+                total += len as u64;
+                sends.push((node, dst));
+            }
+        }
+        for &(src, dst) in &sends {
+            let mut sent = std::mem::take(&mut locals[src]);
+            locals[dst].append(&mut sent);
+        }
+        hc.charge_exchange_step(&sends, max_len, total);
+    }
+}
+
+/// Seed [`super::scatter`]: binomial tree carrying nested segment lists.
+pub fn scatter<T>(hc: &mut Hypercube, segments: Vec<Vec<Vec<T>>>, dims: &[u32]) -> Vec<Vec<T>> {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    let k = dims.len();
+    assert_eq!(segments.len(), cube.nodes());
+
+    let mut holdings: Vec<Vec<Vec<T>>> = Vec::with_capacity(cube.nodes());
+    for (node, segs) in segments.into_iter().enumerate() {
+        let c = cube.extract_coords(node, dims);
+        if c == 0 {
+            assert_eq!(segs.len(), 1usize << k, "root must supply 2^k segments");
+            holdings.push(segs);
+        } else {
+            assert!(segs.is_empty(), "non-root nodes must not supply segments");
+            holdings.push(Vec::new());
+        }
+    }
+
+    for j in (0..k).rev() {
+        let bit = 1usize << j;
+        let chan = 1usize << dims[j];
+        let mut max_len = 0usize;
+        let mut total: u64 = 0;
+        let mut sends: Vec<(usize, usize, Vec<Vec<T>>)> = Vec::new();
+        for node in cube.iter_nodes() {
+            let c = cube.extract_coords(node, dims);
+            if c & ((bit << 1) - 1) == 0 && !holdings[node].is_empty() {
+                let upper = holdings[node].split_off(bit);
+                let len: usize = upper.iter().map(Vec::len).sum();
+                max_len = max_len.max(len);
+                total += len as u64;
+                sends.push((node, node ^ chan, upper));
+            }
+        }
+        let pairs: Vec<(usize, usize)> = sends.iter().map(|&(src, dst, _)| (src, dst)).collect();
+        for (_src, dst, segs) in sends {
+            holdings[dst] = segs;
+        }
+        hc.charge_exchange_step(&pairs, max_len, total);
+    }
+
+    holdings
+        .into_iter()
+        .map(|mut segs| if segs.is_empty() { Vec::new() } else { segs.swap_remove(0) })
+        .collect()
+}
+
+/// An in-flight item: `(src_coord, dst_coord, payload)`.
+type InFlightItem<T> = (usize, usize, Vec<T>);
+
+/// Seed [`super::alltoall`]: forwards owned block `Vec`s through `k`
+/// supersteps and reassembles by source coordinate.
+pub fn alltoall<T>(hc: &mut Hypercube, send: Vec<Vec<Vec<T>>>, dims: &[u32]) -> Vec<Vec<Vec<T>>> {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    let k = dims.len();
+    let blocks_per_node = 1usize << k;
+    assert_eq!(send.len(), cube.nodes());
+
+    let mut in_flight: Vec<Vec<InFlightItem<T>>> = Vec::with_capacity(cube.nodes());
+    for (node, blocks) in send.into_iter().enumerate() {
+        assert_eq!(
+            blocks.len(),
+            blocks_per_node,
+            "node {node}: need one block per destination coordinate"
+        );
+        let src = cube.extract_coords(node, dims);
+        in_flight
+            .push(blocks.into_iter().enumerate().map(|(dst, data)| (src, dst, data)).collect());
+    }
+
+    for j in 0..k {
+        let bit = 1usize << j;
+        let chan = 1usize << dims[j];
+        let mut max_fwd = 0usize;
+        let mut total: u64 = 0;
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        let mut moved: Vec<(usize, InFlightItem<T>)> = Vec::new();
+        for node in cube.iter_nodes() {
+            let my_c = cube.extract_coords(node, dims);
+            let held = std::mem::take(&mut in_flight[node]);
+            let mut stay = Vec::with_capacity(held.len());
+            let mut fwd_elems = 0usize;
+            for item in held {
+                if (item.1 ^ my_c) & bit != 0 {
+                    fwd_elems += item.2.len();
+                    moved.push((node ^ chan, item));
+                } else {
+                    stay.push(item);
+                }
+            }
+            in_flight[node] = stay;
+            if fwd_elems > 0 {
+                pairs.push((node, node ^ chan));
+            }
+            max_fwd = max_fwd.max(fwd_elems);
+            total += fwd_elems as u64;
+        }
+        for (dst_node, item) in moved {
+            in_flight[dst_node].push(item);
+        }
+        hc.charge_exchange_step(&pairs, max_fwd, total);
+    }
+
+    in_flight
+        .into_iter()
+        .map(|items| {
+            let mut slots: Vec<Option<Vec<T>>> = (0..blocks_per_node).map(|_| None).collect();
+            for (src, _dst, data) in items {
+                debug_assert!(slots[src].is_none(), "duplicate block from source {src}");
+                slots[src] = Some(data);
+            }
+            slots.into_iter().map(|s| s.expect("one block from every source")).collect()
+        })
+        .collect()
+}
+
+/// Seed [`super::reduce`]: reverse binomial tree taking and folding
+/// whole `Vec`s.
+pub fn reduce<T: Copy>(
+    hc: &mut Hypercube,
+    locals: &mut [Vec<T>],
+    dims: &[u32],
+    root_coord: usize,
+    op: impl Fn(T, T) -> T,
+) {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    let k = dims.len();
+    assert!(root_coord < (1usize << k), "root coordinate out of range");
+    assert_eq!(locals.len(), cube.nodes());
+    if k == 0 {
+        return;
+    }
+
+    for j in (0..k).rev() {
+        let bit = 1usize << j;
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        let mut max_len = 0usize;
+        let mut total: u64 = 0;
+        for node in cube.iter_nodes() {
+            let x = cube.extract_coords(node, dims) ^ root_coord;
+            if x >= bit && x < bit << 1 {
+                let partner = cube.neighbor(node, dims[j]);
+                let len = locals[node].len();
+                max_len = max_len.max(len);
+                total += len as u64;
+                pairs.push((node, partner));
+            }
+        }
+        for &(src, dst) in &pairs {
+            let sent = std::mem::take(&mut locals[src]);
+            assert_eq!(
+                sent.len(),
+                locals[dst].len(),
+                "reduce requires equal buffer lengths within a subcube"
+            );
+            for (acc, v) in locals[dst].iter_mut().zip(sent) {
+                *acc = op(*acc, v);
+            }
+        }
+        hc.charge_exchange_step(&pairs, max_len, total);
+        hc.charge_flops(max_len);
+    }
+}
+
+/// Seed [`super::allreduce`]: butterfly combine via `split_at_mut`.
+pub fn allreduce<T: Copy>(
+    hc: &mut Hypercube,
+    locals: &mut [Vec<T>],
+    dims: &[u32],
+    op: impl Fn(T, T) -> T,
+) {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    assert_eq!(locals.len(), cube.nodes());
+
+    for &d in dims {
+        let bit = 1usize << d;
+        let mut max_len = 0usize;
+        let mut total: u64 = 0;
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for node in cube.iter_nodes() {
+            if node & bit != 0 {
+                continue;
+            }
+            let partner = node | bit;
+            pairs.push((node, partner));
+            assert_eq!(
+                locals[node].len(),
+                locals[partner].len(),
+                "allreduce requires equal buffer lengths within a subcube"
+            );
+            let len = locals[node].len();
+            max_len = max_len.max(len);
+            total += 2 * len as u64;
+            let (lo_part, hi_part) = locals.split_at_mut(partner);
+            let lo = &mut lo_part[node];
+            let hi = &mut hi_part[0];
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let combined = op(*a, *b);
+                *a = combined;
+                *b = combined;
+            }
+        }
+        hc.charge_exchange_step(&pairs, max_len, total);
+        hc.charge_flops(max_len);
+    }
+}
+
+/// Seed [`super::scan_inclusive`]: butterfly over a full cloned
+/// `totals` copy of the inputs.
+pub fn scan_inclusive<T: Copy>(
+    hc: &mut Hypercube,
+    locals: &mut [Vec<T>],
+    dims: &[u32],
+    op: impl Fn(T, T) -> T,
+) {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    assert_eq!(locals.len(), cube.nodes());
+    if dims.is_empty() {
+        return;
+    }
+
+    let mut totals: Vec<Vec<T>> = locals.to_vec();
+
+    for (j, &d) in dims.iter().enumerate() {
+        let bit_in_coord = 1usize << j;
+        let chan = 1usize << d;
+        let mut max_len = 0usize;
+        let mut total_elems: u64 = 0;
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for node in cube.iter_nodes() {
+            if node & chan != 0 {
+                continue;
+            }
+            let partner = node | chan;
+            pairs.push((node, partner));
+            let len = totals[node].len();
+            assert_eq!(len, totals[partner].len(), "scan requires equal buffer lengths");
+            max_len = max_len.max(len);
+            total_elems += 2 * len as u64;
+
+            let (lo_part, hi_part) = totals.split_at_mut(partner);
+            let lo_total = &mut lo_part[node];
+            let hi_total = &mut hi_part[0];
+
+            let node_coord = cube.extract_coords(node, dims);
+            debug_assert_eq!(node_coord & bit_in_coord, 0);
+            for i in 0..len {
+                let lo_v = lo_total[i];
+                let hi_v = hi_total[i];
+                let combined = op(lo_v, hi_v);
+                lo_total[i] = combined;
+                hi_total[i] = combined;
+                locals[partner][i] = op(lo_v, locals[partner][i]);
+            }
+        }
+        hc.charge_exchange_step(&pairs, max_len, total_elems);
+        hc.charge_flops(2 * max_len);
+    }
+}
+
+/// Seed [`super::scan_exclusive`]: saves a full input copy, seeds the
+/// prefixes with the identity, then runs the same butterfly.
+pub fn scan_exclusive<T: Copy>(
+    hc: &mut Hypercube,
+    locals: &mut [Vec<T>],
+    dims: &[u32],
+    identity: T,
+    op: impl Fn(T, T) -> T,
+) {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    let inputs: Vec<Vec<T>> = locals.to_vec();
+    for buf in locals.iter_mut() {
+        for v in buf.iter_mut() {
+            *v = identity;
+        }
+    }
+    let mut totals = inputs;
+    for (j, &d) in dims.iter().enumerate() {
+        let bit_in_coord = 1usize << j;
+        let chan = 1usize << d;
+        let mut max_len = 0usize;
+        let mut total_elems: u64 = 0;
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for node in cube.iter_nodes() {
+            if node & chan != 0 {
+                continue;
+            }
+            let partner = node | chan;
+            pairs.push((node, partner));
+            let len = totals[node].len();
+            assert_eq!(len, totals[partner].len(), "scan requires equal buffer lengths");
+            max_len = max_len.max(len);
+            total_elems += 2 * len as u64;
+            let (lo_part, hi_part) = totals.split_at_mut(partner);
+            let lo_total = &mut lo_part[node];
+            let hi_total = &mut hi_part[0];
+            let node_coord = cube.extract_coords(node, dims);
+            debug_assert_eq!(node_coord & bit_in_coord, 0);
+            for i in 0..len {
+                let lo_v = lo_total[i];
+                let hi_v = hi_total[i];
+                let combined = op(lo_v, hi_v);
+                lo_total[i] = combined;
+                hi_total[i] = combined;
+                locals[partner][i] = op(lo_v, locals[partner][i]);
+            }
+        }
+        hc.charge_exchange_step(&pairs, max_len, total_elems);
+        hc.charge_flops(2 * max_len);
+    }
+}
+
+/// Seed [`super::broadcast`]: spanning binomial tree cloning the full
+/// buffer at every hop.
+pub fn broadcast<T: Clone>(
+    hc: &mut Hypercube,
+    locals: &mut [Vec<T>],
+    dims: &[u32],
+    root_coord: usize,
+) {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    let k = dims.len();
+    assert!(root_coord < (1usize << k), "root coordinate out of range");
+    assert_eq!(locals.len(), cube.nodes());
+    if k == 0 {
+        return;
+    }
+
+    for j in 0..k {
+        let bit = 1usize << j;
+        let mut transfers: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut max_len = 0usize;
+        let mut total: u64 = 0;
+        for node in cube.iter_nodes() {
+            let c = cube.extract_coords(node, dims);
+            let x = c ^ root_coord;
+            if x < bit {
+                let partner = cube.neighbor(node, dims[j]);
+                let len = locals[node].len();
+                max_len = max_len.max(len);
+                total += len as u64;
+                transfers.push((node, partner));
+            }
+        }
+        for &(src, dst) in &transfers {
+            locals[dst] = locals[src].clone();
+        }
+        hc.charge_exchange_step(&transfers, max_len, total);
+    }
+}

@@ -5,55 +5,51 @@
 //! index arithmetic and the benchmark harness uses them as a collective
 //! baseline. Order is subcube **coordinate order** (the packed value of
 //! the node's bits at `dims`).
+//!
+//! The slab versions avoid the seed's up-front full copy of the inputs:
+//! the inclusive scan *fuses* the first butterfly step into the
+//! construction of the running-totals slab (after step 0 both partners'
+//! totals are `op(lo, hi)`, so totals can be built fresh instead of
+//! copied then overwritten), and the exclusive scan *moves* the input
+//! slab into the totals role, allocating only the identity-filled prefix
+//! buffer the seed allocated anyway. Combine order is unchanged, so
+//! results are bit-identical.
 
 use super::check_dims;
 use crate::machine::Hypercube;
+use crate::slab::NodeSlab;
 
-/// Inclusive scan: after the call, the node at coordinate `c` holds the
-/// elementwise `op`-combination of the buffers of coordinates `0..=c`.
-///
-/// Classic hypercube scan maintaining `(prefix, total)`: `|dims|`
-/// supersteps, each `alpha + (beta + 2*gamma) * L`.
-///
-/// `op` must be associative; it need not be commutative (combination
-/// order follows coordinate order).
-pub fn scan_inclusive<T: Copy>(
+/// The classic `(prefix, totals)` butterfly, steps `start..`, exactly as
+/// the seed runs it (same pair order, same combine expressions, same
+/// per-step charges).
+fn butterfly_steps<T: Copy>(
     hc: &mut Hypercube,
-    locals: &mut [Vec<T>],
+    prefix: &mut NodeSlab<T>,
+    totals: &mut NodeSlab<T>,
     dims: &[u32],
-    op: impl Fn(T, T) -> T,
+    start: usize,
+    op: &impl Fn(T, T) -> T,
 ) {
     let cube = hc.cube();
-    check_dims(cube, dims);
-    assert_eq!(locals.len(), cube.nodes());
-    if dims.is_empty() {
-        return;
-    }
-
-    // running totals per node, consumed by the butterfly
-    let mut totals: Vec<Vec<T>> = locals.to_vec();
-
-    for (j, &d) in dims.iter().enumerate() {
+    for (j, &d) in dims.iter().enumerate().skip(start) {
         let bit_in_coord = 1usize << j;
         let chan = 1usize << d;
         let mut max_len = 0usize;
         let mut total_elems: u64 = 0;
         let mut pairs: Vec<(usize, usize)> = Vec::new();
-        // Pairwise exchange of totals along dim d.
         for node in cube.iter_nodes() {
             if node & chan != 0 {
                 continue;
             }
             let partner = node | chan;
             pairs.push((node, partner));
-            let len = totals[node].len();
-            assert_eq!(len, totals[partner].len(), "scan requires equal buffer lengths");
+            let len = totals.len_of(node);
+            assert_eq!(len, totals.len_of(partner), "scan requires equal buffer lengths");
             max_len = max_len.max(len);
             total_elems += 2 * len as u64;
 
-            let (lo_part, hi_part) = totals.split_at_mut(partner);
-            let lo_total = &mut lo_part[node];
-            let hi_total = &mut hi_part[0];
+            let (lo_total, hi_total) = totals.pair_mut(node, partner);
+            let hi_prefix = prefix.seg_mut(partner);
 
             // The node whose coordinate bit j is 1 is "upper": the lower
             // node's total is a prefix for it.
@@ -66,7 +62,7 @@ pub fn scan_inclusive<T: Copy>(
                 lo_total[i] = combined;
                 hi_total[i] = combined;
                 // Upper node folds the lower subcube's total into its prefix.
-                locals[partner][i] = op(lo_v, locals[partner][i]);
+                hi_prefix[i] = op(lo_v, hi_prefix[i]);
             }
         }
         hc.charge_exchange_step(&pairs, max_len, total_elems);
@@ -74,8 +70,105 @@ pub fn scan_inclusive<T: Copy>(
     }
 }
 
+/// Inclusive scan over a flat [`NodeSlab`]: after the call, the segment
+/// at coordinate `c` holds the elementwise `op`-combination of the
+/// segments of coordinates `0..=c`.
+///
+/// Classic hypercube scan maintaining `(prefix, total)`: `|dims|`
+/// supersteps, each `alpha + (beta + 2*gamma) * L`.
+///
+/// `op` must be associative; it need not be commutative (combination
+/// order follows coordinate order).
+pub fn scan_inclusive_slab<T: Copy>(
+    hc: &mut Hypercube,
+    slab: &mut NodeSlab<T>,
+    dims: &[u32],
+    op: impl Fn(T, T) -> T,
+) {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    assert_eq!(slab.p(), cube.nodes());
+    if dims.is_empty() {
+        return;
+    }
+
+    // Fused step 0: after it, both partners' totals are op(lo, hi) and
+    // the upper prefix is op(lo, hi) too — so the totals slab is built
+    // fresh (no input copy), then the upper prefixes are combined in
+    // place.
+    let chan0 = 1usize << dims[0];
+    let mut max_len = 0usize;
+    let mut total_elems: u64 = 0;
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for node in cube.iter_nodes() {
+        if node & chan0 != 0 {
+            continue;
+        }
+        let partner = node | chan0;
+        pairs.push((node, partner));
+        let len = slab.len_of(node);
+        assert_eq!(len, slab.len_of(partner), "scan requires equal buffer lengths");
+        max_len = max_len.max(len);
+        total_elems += 2 * len as u64;
+    }
+    let mut totals = NodeSlab::with_capacity(slab.p(), slab.total_len());
+    for node in 0..slab.p() {
+        let lo = &slab[node & !chan0];
+        let hi = &slab[node | chan0];
+        totals.push_seg_with(|data| {
+            data.extend(lo.iter().zip(hi).map(|(&x, &y)| op(x, y)));
+        });
+    }
+    for &(lo, hi) in &pairs {
+        let (lo_s, hi_s) = slab.pair_mut(lo, hi);
+        for (x, y) in lo_s.iter().zip(hi_s.iter_mut()) {
+            *y = op(*x, *y);
+        }
+    }
+    hc.charge_exchange_step(&pairs, max_len, total_elems);
+    hc.charge_flops(2 * max_len);
+
+    butterfly_steps(hc, slab, &mut totals, dims, 1, &op);
+}
+
+/// Exclusive scan over a flat [`NodeSlab`] with `identity`: coordinate
+/// `c` ends with the combination of coordinates `0..c` (coordinate 0
+/// gets `identity`).
+pub fn scan_exclusive_slab<T: Copy>(
+    hc: &mut Hypercube,
+    slab: &mut NodeSlab<T>,
+    dims: &[u32],
+    identity: T,
+    op: impl Fn(T, T) -> T,
+) {
+    let cube = hc.cube();
+    check_dims(cube, dims);
+    assert_eq!(slab.p(), cube.nodes());
+    // The inputs become the running totals wholesale (no copy); the
+    // prefix buffer starts as the identity everywhere.
+    let lens: Vec<usize> = (0..slab.p()).map(|n| slab.len_of(n)).collect();
+    let mut totals = std::mem::replace(slab, NodeSlab::filled(&lens, identity));
+    butterfly_steps(hc, slab, &mut totals, dims, 0, &op);
+}
+
+/// Inclusive scan: after the call, the node at coordinate `c` holds the
+/// elementwise `op`-combination of the buffers of coordinates `0..=c`.
+/// Thin adapter over [`scan_inclusive_slab`].
+pub fn scan_inclusive<T: Copy>(
+    hc: &mut Hypercube,
+    locals: &mut [Vec<T>],
+    dims: &[u32],
+    op: impl Fn(T, T) -> T,
+) {
+    assert_eq!(locals.len(), hc.cube().nodes());
+    let mut slab = NodeSlab::from_nested(locals);
+    scan_inclusive_slab(hc, &mut slab, dims, op);
+    slab.write_nested(locals);
+}
+
 /// Exclusive scan with `identity`: coordinate `c` ends with the
 /// combination of coordinates `0..c` (coordinate 0 gets `identity`).
+/// Thin adapter over [`scan_exclusive_slab`].
 pub fn scan_exclusive<T: Copy>(
     hc: &mut Hypercube,
     locals: &mut [Vec<T>],
@@ -83,52 +176,10 @@ pub fn scan_exclusive<T: Copy>(
     identity: T,
     op: impl Fn(T, T) -> T,
 ) {
-    let cube = hc.cube();
-    check_dims(cube, dims);
-    // Save inputs, run inclusive, then shift: exclusive = inclusive "before
-    // my own contribution". We implement it directly with the same
-    // butterfly by seeding prefixes with the identity.
-    let inputs: Vec<Vec<T>> = locals.to_vec();
-    for buf in locals.iter_mut() {
-        for v in buf.iter_mut() {
-            *v = identity;
-        }
-    }
-    // totals start as the inputs
-    let mut totals = inputs;
-    for (j, &d) in dims.iter().enumerate() {
-        let bit_in_coord = 1usize << j;
-        let chan = 1usize << d;
-        let mut max_len = 0usize;
-        let mut total_elems: u64 = 0;
-        let mut pairs: Vec<(usize, usize)> = Vec::new();
-        for node in cube.iter_nodes() {
-            if node & chan != 0 {
-                continue;
-            }
-            let partner = node | chan;
-            pairs.push((node, partner));
-            let len = totals[node].len();
-            assert_eq!(len, totals[partner].len(), "scan requires equal buffer lengths");
-            max_len = max_len.max(len);
-            total_elems += 2 * len as u64;
-            let (lo_part, hi_part) = totals.split_at_mut(partner);
-            let lo_total = &mut lo_part[node];
-            let hi_total = &mut hi_part[0];
-            let node_coord = cube.extract_coords(node, dims);
-            debug_assert_eq!(node_coord & bit_in_coord, 0);
-            for i in 0..len {
-                let lo_v = lo_total[i];
-                let hi_v = hi_total[i];
-                let combined = op(lo_v, hi_v);
-                lo_total[i] = combined;
-                hi_total[i] = combined;
-                locals[partner][i] = op(lo_v, locals[partner][i]);
-            }
-        }
-        hc.charge_exchange_step(&pairs, max_len, total_elems);
-        hc.charge_flops(2 * max_len);
-    }
+    assert_eq!(locals.len(), hc.cube().nodes());
+    let mut slab = NodeSlab::from_nested(locals);
+    scan_exclusive_slab(hc, &mut slab, dims, identity, op);
+    slab.write_nested(locals);
 }
 
 #[cfg(test)]
@@ -223,5 +274,31 @@ mod tests {
         scan_inclusive(&mut hc, &mut locals, &[], |a, b| a + b);
         assert_eq!(locals, before);
         assert_eq!(hc.elapsed_us(), 0.0);
+    }
+
+    #[test]
+    fn slab_scans_bitwise_match_reference() {
+        use super::super::reference;
+        let dims = [2u32, 0];
+        // Inclusive, on floats (combine-order sensitive).
+        let mut hc1 = unit_machine(3);
+        let mut a = hc1.locals_from_fn(|n| vec![(n as f64).sin(), (n as f64).cos()]);
+        let mut b = a.clone();
+        reference::scan_inclusive(&mut hc1, &mut a, &dims, |x, y| x + y);
+        let mut hc2 = unit_machine(3);
+        scan_inclusive(&mut hc2, &mut b, &dims, |x, y| x + y);
+        assert_eq!(a, b);
+        assert_eq!(hc1.elapsed_us(), hc2.elapsed_us());
+        assert_eq!(hc1.counters(), hc2.counters());
+        // Exclusive.
+        let mut hc3 = unit_machine(3);
+        let mut c = hc3.locals_from_fn(|n| vec![(n as f64).sin(); 3]);
+        let mut d = c.clone();
+        reference::scan_exclusive(&mut hc3, &mut c, &dims, 0.0, |x, y| x + y);
+        let mut hc4 = unit_machine(3);
+        scan_exclusive(&mut hc4, &mut d, &dims, 0.0, |x, y| x + y);
+        assert_eq!(c, d);
+        assert_eq!(hc3.elapsed_us(), hc4.elapsed_us());
+        assert_eq!(hc3.counters(), hc4.counters());
     }
 }

@@ -18,6 +18,10 @@
 //! * [`collective`] — broadcast / reduce / allreduce / scan / gather /
 //!   scatter / allgather / all-to-all on arbitrary subcube dimension
 //!   subsets (rows and columns of a processor grid);
+//! * [`slab`] — the flat arena data plane ([`slab::NodeSlab`] /
+//!   [`slab::SegSlab`]) the collectives operate on;
+//! * [`par`] — the shared, `VMP_PAR_THRESHOLD`-tunable host-parallelism
+//!   threshold;
 //! * [`route`] — blocked dimension-ordered routing for irregular moves;
 //! * [`router`] — the cycle-accurate element-granular general router
 //!   that models the paper's **naive** baseline;
@@ -38,8 +42,10 @@ pub mod dimperm;
 pub mod fault;
 pub mod gray;
 pub mod machine;
+pub mod par;
 pub mod route;
 pub mod router;
+pub mod slab;
 pub mod spanning;
 pub mod topology;
 
@@ -47,4 +53,5 @@ pub use cost::{CostModel, PortModel};
 pub use counters::Counters;
 pub use fault::{Detect, FaultPlan, LinkFault, NodeFault, ResilientConfig};
 pub use machine::Hypercube;
+pub use slab::{NodeSlab, SegSlab};
 pub use topology::{Cube, NodeId};

@@ -392,12 +392,36 @@ pub fn local_compute<T: Send, F>(
     F: Fn(NodeId, &mut Vec<T>) + Sync,
 {
     use rayon::prelude::*;
-    // Rough machine-wide work estimate decides host-parallel execution.
+    // Rough machine-wide work estimate decides host-parallel execution
+    // (shared tunable; see crate::par).
     let total_work = critical_flops.saturating_mul(locals.len());
-    if total_work >= 1 << 15 {
+    if crate::par::should_parallelise(total_work) {
         locals.par_iter_mut().enumerate().for_each(|(node, buf)| f(node, buf));
     } else {
         for (node, buf) in locals.iter_mut().enumerate() {
+            f(node, buf);
+        }
+    }
+    hc.charge_flops(critical_flops);
+}
+
+/// As [`local_compute`], but over a flat [`crate::slab::NodeSlab`]: each
+/// node's kernel gets its contiguous segment slice.
+pub fn local_compute_slab<T: Send, F>(
+    hc: &mut Hypercube,
+    slab: &mut crate::slab::NodeSlab<T>,
+    critical_flops: usize,
+    f: F,
+) where
+    F: Fn(NodeId, &mut [T]) + Sync,
+{
+    use rayon::prelude::*;
+    let total_work = critical_flops.saturating_mul(slab.p());
+    let mut segs = slab.segs_mut();
+    if crate::par::should_parallelise(total_work) {
+        segs.par_iter_mut().enumerate().for_each(|(node, buf)| f(node, buf));
+    } else {
+        for (node, buf) in segs.iter_mut().enumerate() {
             f(node, buf);
         }
     }

@@ -1,0 +1,73 @@
+//! Shared host-parallelism tunables.
+//!
+//! Both the machine's [`crate::machine::local_compute`] helper and the
+//! higher-level crates (vmp's per-node kernel drivers) gate rayon
+//! fan-out on the same question: *is there enough total work to amortise
+//! the thread-pool hand-off?* Historically each site hard-coded its own
+//! `1 << 15` constant; this module is the single source of truth.
+//!
+//! The default threshold is **`1 << 15` (32 768) elements of total
+//! work** across all nodes — small enough that a 64-node machine with a
+//! few thousand elements per node fans out, large enough that unit-test
+//! sized problems stay on one thread. Override it with the
+//! `VMP_PAR_THRESHOLD` environment variable (a plain integer element
+//! count; `0` means "always parallel"). The variable is read once per
+//! process and cached.
+
+use std::sync::OnceLock;
+
+/// Default minimum total work (elements touched across all nodes)
+/// before per-node loops fan out to rayon.
+pub const DEFAULT_PAR_THRESHOLD: usize = 1 << 15;
+
+static THRESHOLD: OnceLock<usize> = OnceLock::new();
+
+fn parse_env() -> Option<usize> {
+    let raw = std::env::var("VMP_PAR_THRESHOLD").ok()?;
+    raw.trim().parse::<usize>().ok()
+}
+
+/// The process-wide parallelism threshold: total units of work at or
+/// above which per-node loops should use the rayon pool.
+///
+/// Honours `VMP_PAR_THRESHOLD` (read once, then cached); falls back to
+/// [`DEFAULT_PAR_THRESHOLD`]. Unparseable values are ignored.
+#[must_use]
+pub fn threshold() -> usize {
+    *THRESHOLD.get_or_init(|| parse_env().unwrap_or(DEFAULT_PAR_THRESHOLD))
+}
+
+/// `true` when `total_work` is large enough to justify rayon fan-out
+/// **and** the host pool actually has more than one thread. With a
+/// single-thread pool (notably the vendored sequential rayon stand-in)
+/// the fan-out path's extra bookkeeping — per-node `Vec` collection and
+/// arena re-stitching — can never pay for itself, so the serial in-arena
+/// path is used unconditionally.
+#[must_use]
+pub fn should_parallelise(total_work: usize) -> bool {
+    rayon::current_num_threads() > 1 && total_work >= threshold()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_threshold_matches_historic_constant() {
+        assert_eq!(DEFAULT_PAR_THRESHOLD, 1 << 15);
+        // The cached value is either the default or whatever the test
+        // environment set; both must be internally consistent.
+        let t = threshold();
+        if rayon::current_num_threads() > 1 {
+            assert!(should_parallelise(t));
+        } else {
+            // Single-thread pool (e.g. the vendored sequential stand-in):
+            // fan-out is never worth it, whatever the work size.
+            assert!(!should_parallelise(t));
+            assert!(!should_parallelise(usize::MAX));
+        }
+        if t > 0 {
+            assert!(!should_parallelise(t - 1));
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! Flat arena-backed per-node buffers — the machine's data plane.
+//!
+//! The seed implementation carried per-node payloads as `Vec<Vec<T>>`
+//! (and per-node/per-destination payloads as `Vec<Vec<Vec<T>>>`): one
+//! heap allocation per node per collective round, cloned at every
+//! superstep. This module replaces that with two CSR-style flat views:
+//!
+//! * [`NodeSlab<T>`] — **one** contiguous `data` allocation plus a
+//!   `p + 1` entry `offsets` table; node `i`'s buffer is the slice
+//!   `data[offsets[i]..offsets[i + 1]]`.
+//! * [`SegSlab<T>`] — the same idea with `nseg` segments per node
+//!   (per-destination blocks for all-to-all and scatter).
+//!
+//! ### Aliasing rules
+//!
+//! Segments never overlap and are stored in node order, so two distinct
+//! nodes' buffers can be borrowed mutably at once through
+//! [`NodeSlab::pair_mut`] (a `split_at_mut` under the hood) — this is
+//! what lets butterfly combines run in place with zero copies. The
+//! simulated-clock charging of the collectives is computed from segment
+//! *lengths* only and is therefore unchanged by the representation; see
+//! DESIGN.md § Data plane.
+
+use std::ops::{Index, IndexMut};
+
+/// Per-node flat buffer arena: `p` variable-length segments backed by a
+/// single contiguous allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSlab<T> {
+    /// `p + 1` monotone offsets into `data`; segment `i` is
+    /// `data[offsets[i]..offsets[i + 1]]`.
+    offsets: Vec<usize>,
+    data: Vec<T>,
+}
+
+impl<T> NodeSlab<T> {
+    /// A slab with `p` empty segments.
+    #[must_use]
+    pub fn new(p: usize) -> Self {
+        NodeSlab { offsets: vec![0; p + 1], data: Vec::new() }
+    }
+
+    /// An empty builder that will hold `p` segments and roughly
+    /// `data_capacity` elements without reallocating. Push segments in
+    /// node order with [`NodeSlab::push_seg`] / [`NodeSlab::push_seg_with`].
+    #[must_use]
+    pub fn with_capacity(p: usize, data_capacity: usize) -> Self {
+        let mut offsets = Vec::with_capacity(p + 1);
+        offsets.push(0);
+        NodeSlab { offsets, data: Vec::with_capacity(data_capacity) }
+    }
+
+    /// Number of segments (nodes).
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total elements across all segments.
+    #[must_use]
+    pub fn total_len(&self) -> usize {
+        *self.offsets.last().expect("offsets never empty")
+    }
+
+    /// Length of node `i`'s segment.
+    #[must_use]
+    pub fn len_of(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Longest segment length.
+    #[must_use]
+    pub fn max_seg_len(&self) -> usize {
+        (0..self.p()).map(|i| self.len_of(i)).max().unwrap_or(0)
+    }
+
+    /// The `p + 1` offsets table.
+    #[must_use]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Node `i`'s segment.
+    #[must_use]
+    pub fn seg(&self, i: usize) -> &[T] {
+        &self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Node `i`'s segment, mutably.
+    pub fn seg_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Two distinct nodes' segments, both mutable (butterfly partners).
+    ///
+    /// # Panics
+    /// Panics if `a == b`.
+    pub fn pair_mut(&mut self, a: usize, b: usize) -> (&mut [T], &mut [T]) {
+        assert_ne!(a, b, "pair_mut needs two distinct segments");
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (lo_s, lo_e) = (self.offsets[lo], self.offsets[lo + 1]);
+        let (hi_s, hi_e) = (self.offsets[hi], self.offsets[hi + 1]);
+        let (left, right) = self.data.split_at_mut(hi_s);
+        let lo_slice = &mut left[lo_s..lo_e];
+        let hi_slice = &mut right[..hi_e - hi_s];
+        if a < b {
+            (lo_slice, hi_slice)
+        } else {
+            (hi_slice, lo_slice)
+        }
+    }
+
+    /// The raw backing storage (all segments, in node order).
+    #[must_use]
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The raw backing storage, mutably.
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Iterate over the segments in node order.
+    pub fn iter_segs(&self) -> impl Iterator<Item = &[T]> {
+        (0..self.p()).map(move |i| self.seg(i))
+    }
+
+    /// All segments as disjoint mutable slices (for per-node parallel
+    /// kernels).
+    pub fn segs_mut(&mut self) -> Vec<&mut [T]> {
+        let mut out = Vec::with_capacity(self.p());
+        let mut rest: &mut [T] = &mut self.data;
+        let mut consumed = 0usize;
+        for i in 0..self.offsets.len() - 1 {
+            let len = self.offsets[i + 1] - self.offsets[i];
+            debug_assert_eq!(self.offsets[i], consumed);
+            let (head, tail) = rest.split_at_mut(len);
+            out.push(head);
+            rest = tail;
+            consumed += len;
+        }
+        out
+    }
+
+    /// Append a segment built by `f` directly into the arena (builder
+    /// API; segments must be pushed in node order).
+    pub fn push_seg_with(&mut self, f: impl FnOnce(&mut Vec<T>)) {
+        f(&mut self.data);
+        self.offsets.push(self.data.len());
+    }
+
+    /// Reset to zero segments, keeping both allocations for reuse.
+    pub fn clear(&mut self) {
+        self.offsets.truncate(1);
+        self.data.clear();
+    }
+
+    /// Exchange contents with `other` without copying element data.
+    pub fn swap(&mut self, other: &mut Self) {
+        std::mem::swap(&mut self.offsets, &mut other.offsets);
+        std::mem::swap(&mut self.data, &mut other.data);
+    }
+
+    /// Move the nested representation into a slab (one copy per
+    /// element, no per-node clones needed afterwards).
+    #[must_use]
+    pub fn from_nested_owned(nested: Vec<Vec<T>>) -> Self {
+        let total: usize = nested.iter().map(Vec::len).sum();
+        let mut slab = NodeSlab::with_capacity(nested.len(), total);
+        for mut buf in nested {
+            slab.data.append(&mut buf);
+            slab.offsets.push(slab.data.len());
+        }
+        slab
+    }
+}
+
+impl<T: Clone> NodeSlab<T> {
+    /// A slab with the given per-node lengths, filled with `fill`.
+    #[must_use]
+    pub fn filled(lens: &[usize], fill: T) -> Self {
+        let total: usize = lens.iter().sum();
+        let mut offsets = Vec::with_capacity(lens.len() + 1);
+        offsets.push(0);
+        let mut acc = 0usize;
+        for &l in lens {
+            acc += l;
+            offsets.push(acc);
+        }
+        NodeSlab { offsets, data: vec![fill; total] }
+    }
+
+    /// Append a segment copied from a slice (builder API).
+    pub fn push_seg(&mut self, seg: &[T]) {
+        self.data.extend_from_slice(seg);
+        self.offsets.push(self.data.len());
+    }
+
+    /// Copy a nested `Vec<Vec<T>>` into a slab.
+    #[must_use]
+    pub fn from_nested(nested: &[Vec<T>]) -> Self {
+        let total: usize = nested.iter().map(Vec::len).sum();
+        let mut slab = NodeSlab::with_capacity(nested.len(), total);
+        for buf in nested {
+            slab.push_seg(buf);
+        }
+        slab
+    }
+
+    /// Copy out to the nested representation (adapter shims; tests).
+    #[must_use]
+    pub fn to_nested(&self) -> Vec<Vec<T>> {
+        (0..self.p()).map(|i| self.seg(i).to_vec()).collect()
+    }
+
+    /// Overwrite `out` (one `Vec` per node, reusing their allocations)
+    /// with this slab's segments.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.p()`.
+    pub fn write_nested(&self, out: &mut [Vec<T>]) {
+        assert_eq!(out.len(), self.p(), "one Vec per node");
+        for (i, buf) in out.iter_mut().enumerate() {
+            buf.clear();
+            buf.extend_from_slice(self.seg(i));
+        }
+    }
+}
+
+impl<T> Index<usize> for NodeSlab<T> {
+    type Output = [T];
+    fn index(&self, i: usize) -> &[T] {
+        self.seg(i)
+    }
+}
+
+impl<T> IndexMut<usize> for NodeSlab<T> {
+    fn index_mut(&mut self, i: usize) -> &mut [T] {
+        self.seg_mut(i)
+    }
+}
+
+/// Per-node, per-destination segmented arena: `p * nseg` variable-length
+/// segments in one allocation, laid out node-major (`node * nseg + s`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegSlab<T> {
+    nseg: usize,
+    /// `p * nseg + 1` monotone offsets into `data`.
+    offsets: Vec<usize>,
+    data: Vec<T>,
+}
+
+impl<T> SegSlab<T> {
+    /// A slab with `p * nseg` empty segments.
+    #[must_use]
+    pub fn new(p: usize, nseg: usize) -> Self {
+        SegSlab { nseg, offsets: vec![0; p * nseg + 1], data: Vec::new() }
+    }
+
+    /// An empty builder for `p` nodes of `nseg` segments each; push
+    /// `p * nseg` segments in `(node, seg)` lexicographic order.
+    #[must_use]
+    pub fn with_capacity(nseg: usize, p: usize, data_capacity: usize) -> Self {
+        let mut offsets = Vec::with_capacity(p * nseg + 1);
+        offsets.push(0);
+        SegSlab { nseg, offsets, data: Vec::with_capacity(data_capacity) }
+    }
+
+    /// Segments per node.
+    #[must_use]
+    pub fn nseg(&self) -> usize {
+        self.nseg
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        (self.offsets.len() - 1).checked_div(self.nseg).unwrap_or(0)
+    }
+
+    /// Total elements across all segments.
+    #[must_use]
+    pub fn total_len(&self) -> usize {
+        *self.offsets.last().expect("offsets never empty")
+    }
+
+    fn slot(&self, node: usize, s: usize) -> usize {
+        debug_assert!(s < self.nseg);
+        node * self.nseg + s
+    }
+
+    /// Length of segment `s` on `node`.
+    #[must_use]
+    pub fn seg_len(&self, node: usize, s: usize) -> usize {
+        let k = self.slot(node, s);
+        self.offsets[k + 1] - self.offsets[k]
+    }
+
+    /// Segment `s` on `node`.
+    #[must_use]
+    pub fn seg(&self, node: usize, s: usize) -> &[T] {
+        let k = self.slot(node, s);
+        &self.data[self.offsets[k]..self.offsets[k + 1]]
+    }
+
+    /// Segment `s` on `node`, mutably.
+    pub fn seg_mut(&mut self, node: usize, s: usize) -> &mut [T] {
+        let k = self.slot(node, s);
+        &mut self.data[self.offsets[k]..self.offsets[k + 1]]
+    }
+
+    /// Append the next segment built by `f` (builder API; `(node, seg)`
+    /// order).
+    pub fn push_seg_with(&mut self, f: impl FnOnce(&mut Vec<T>)) {
+        f(&mut self.data);
+        self.offsets.push(self.data.len());
+    }
+}
+
+impl<T: Clone> SegSlab<T> {
+    /// Append the next segment copied from a slice (builder API).
+    pub fn push_seg(&mut self, seg: &[T]) {
+        self.data.extend_from_slice(seg);
+        self.offsets.push(self.data.len());
+    }
+
+    /// Copy a nested `Vec<Vec<Vec<T>>>` (node → seg → elements) into a
+    /// slab. All nodes must carry the same number of segments; nodes
+    /// with no segments at all are treated as `nseg` empty ones.
+    #[must_use]
+    pub fn from_nested(nested: &[Vec<Vec<T>>], nseg: usize) -> Self {
+        let total: usize = nested.iter().flat_map(|n| n.iter().map(Vec::len)).sum();
+        let mut slab = SegSlab::with_capacity(nseg, nested.len(), total);
+        for node in nested {
+            if node.is_empty() {
+                for _ in 0..nseg {
+                    slab.offsets.push(slab.data.len());
+                }
+            } else {
+                assert_eq!(node.len(), nseg, "uniform segment count per node");
+                for seg in node {
+                    slab.push_seg(seg);
+                }
+            }
+        }
+        slab
+    }
+
+    /// Copy out to the nested representation.
+    #[must_use]
+    pub fn to_nested(&self) -> Vec<Vec<Vec<T>>> {
+        (0..self.p())
+            .map(|node| (0..self.nseg).map(|s| self.seg(node, s).to_vec()).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_slab_roundtrip_and_views() {
+        let nested = vec![vec![1, 2, 3], vec![], vec![4], vec![5, 6]];
+        let slab = NodeSlab::from_nested(&nested);
+        assert_eq!(slab.p(), 4);
+        assert_eq!(slab.total_len(), 6);
+        assert_eq!(slab.max_seg_len(), 3);
+        assert_eq!(slab.len_of(1), 0);
+        assert_eq!(&slab[0], &[1, 2, 3][..]);
+        assert_eq!(&slab[2], &[4][..]);
+        assert_eq!(slab.to_nested(), nested);
+        assert_eq!(slab.offsets(), &[0, 3, 3, 4, 6]);
+    }
+
+    #[test]
+    fn pair_mut_gives_disjoint_slices_in_order() {
+        let mut slab = NodeSlab::from_nested(&[vec![1, 2], vec![10], vec![20, 21]]);
+        {
+            let (a, b) = slab.pair_mut(2, 0);
+            assert_eq!(a, &[20, 21][..]);
+            assert_eq!(b, &[1, 2][..]);
+            a[0] = 99;
+            b[1] = 88;
+        }
+        assert_eq!(&slab[2], &[99, 21][..]);
+        assert_eq!(&slab[0], &[1, 88][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn pair_mut_rejects_same_segment() {
+        let mut slab: NodeSlab<u8> = NodeSlab::new(3);
+        let _ = slab.pair_mut(1, 1);
+    }
+
+    #[test]
+    fn builder_and_clear_reuse() {
+        let mut slab = NodeSlab::with_capacity(2, 8);
+        slab.push_seg(&[7u32, 8]);
+        slab.push_seg_with(|data| data.extend([9, 10, 11]));
+        assert_eq!(slab.p(), 2);
+        assert_eq!(slab.to_nested(), vec![vec![7, 8], vec![9, 10, 11]]);
+        slab.clear();
+        assert_eq!(slab.p(), 0);
+        assert_eq!(slab.total_len(), 0);
+        slab.push_seg(&[1]);
+        assert_eq!(slab.to_nested(), vec![vec![1]]);
+    }
+
+    #[test]
+    fn segs_mut_covers_all_nodes_disjointly() {
+        let mut slab = NodeSlab::from_nested(&[vec![1, 2], vec![], vec![3]]);
+        let segs = slab.segs_mut();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0], &[1, 2][..]);
+        assert_eq!(segs[1], &[][..]);
+        assert_eq!(segs[2], &[3][..]);
+    }
+
+    #[test]
+    fn write_nested_reuses_allocations() {
+        let slab = NodeSlab::from_nested(&[vec![1, 2], vec![3]]);
+        let mut out = vec![Vec::with_capacity(4), Vec::with_capacity(4)];
+        slab.write_nested(&mut out);
+        assert_eq!(out, vec![vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn seg_slab_roundtrip() {
+        let nested =
+            vec![vec![vec![1], vec![2, 3]], vec![vec![], vec![4]], vec![vec![5, 6], vec![]]];
+        let slab = SegSlab::from_nested(&nested, 2);
+        assert_eq!(slab.p(), 3);
+        assert_eq!(slab.nseg(), 2);
+        assert_eq!(slab.total_len(), 6);
+        assert_eq!(slab.seg(0, 1), &[2, 3][..]);
+        assert_eq!(slab.seg_len(1, 0), 0);
+        assert_eq!(slab.to_nested(), nested);
+    }
+
+    #[test]
+    fn seg_slab_accepts_empty_nodes() {
+        let nested = vec![vec![vec![1u8], vec![2]], vec![]];
+        let slab = SegSlab::from_nested(&nested, 2);
+        assert_eq!(slab.seg_len(1, 0), 0);
+        assert_eq!(slab.seg_len(1, 1), 0);
+    }
+
+    #[test]
+    fn from_nested_owned_moves_data() {
+        let slab = NodeSlab::from_nested_owned(vec![vec![1i64, 2], vec![3]]);
+        assert_eq!(slab.to_nested(), vec![vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn filled_matches_lengths() {
+        let slab = NodeSlab::filled(&[2, 0, 3], 7u16);
+        assert_eq!(slab.to_nested(), vec![vec![7, 7], vec![], vec![7, 7, 7]]);
+    }
+}

@@ -42,7 +42,7 @@ pub enum BroadcastSchedule {
 /// members using the chosen schedule. Semantics identical to
 /// [`crate::collective::broadcast`]; only the schedule (and hence the
 /// charged time) differs.
-pub fn broadcast_with<T: Clone>(
+pub fn broadcast_with<T: Copy>(
     hc: &mut Hypercube,
     locals: &mut [Vec<T>],
     dims: &[u32],

@@ -60,8 +60,8 @@ pub fn apply_degradation(
 /// Per-node resident element counts of one buffer set; add several
 /// calls together to cover all live objects.
 #[must_use]
-pub fn resident_sizes<T>(locals: &[Vec<T>]) -> Vec<usize> {
-    locals.iter().map(Vec::len).collect()
+pub fn resident_sizes<T>(locals: &vmp_hypercube::slab::NodeSlab<T>) -> Vec<usize> {
+    (0..locals.p()).map(|node| locals.len_of(node)).collect()
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! The distributed dense matrix.
 
+use vmp_hypercube::slab::NodeSlab;
 use vmp_layout::{MatShape, MatrixLayout};
 
 use crate::elem::Scalar;
@@ -9,10 +10,15 @@ use crate::elem::Scalar;
 /// order; the container really holds all the data (the simulation is
 /// functional), and host-side accessors (`get`, `to_dense`) exist for
 /// tests and I/O — they charge nothing and model nothing.
+///
+/// Storage is a single arena-backed [`NodeSlab`] — one contiguous
+/// allocation for all nodes' blocks — so local kernels stream over
+/// contiguous memory and constructing a matrix costs one allocation, not
+/// `p`. See DESIGN.md § Data plane.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DistMatrix<T> {
     layout: MatrixLayout,
-    locals: Vec<Vec<T>>,
+    locals: NodeSlab<T>,
 }
 
 impl<T: Scalar> DistMatrix<T> {
@@ -22,14 +28,15 @@ impl<T: Scalar> DistMatrix<T> {
     #[must_use]
     pub fn from_fn(layout: MatrixLayout, mut f: impl FnMut(usize, usize) -> T) -> Self {
         let p = layout.grid().p();
-        let mut locals: Vec<Vec<T>> = Vec::with_capacity(p);
+        let total: usize = (0..p).map(|node| layout.local_len(node)).sum();
+        let mut locals = NodeSlab::with_capacity(p, total);
         for node in 0..p {
-            let mut buf = Vec::with_capacity(layout.local_len(node));
-            for (i, j, off) in layout.local_elements(node) {
-                debug_assert_eq!(off, buf.len());
-                buf.push(f(i, j));
-            }
-            locals.push(buf);
+            locals.push_seg_with(|buf| {
+                for (i, j, off) in layout.local_elements(node) {
+                    let _ = off;
+                    buf.push(f(i, j));
+                }
+            });
         }
         DistMatrix { layout, locals }
     }
@@ -78,7 +85,7 @@ impl<T: Scalar> DistMatrix<T> {
     pub fn to_dense(&self) -> Vec<Vec<T>> {
         let shape = self.shape();
         let mut dense: Vec<Vec<Option<T>>> = vec![vec![None; shape.cols]; shape.rows];
-        for (node, buf) in self.locals.iter().enumerate() {
+        for (node, buf) in self.locals.iter_segs().enumerate() {
             for (i, j, off) in self.layout.local_elements(node) {
                 dense[i][j] = Some(buf[off]);
             }
@@ -89,22 +96,37 @@ impl<T: Scalar> DistMatrix<T> {
             .collect()
     }
 
-    /// Per-node local buffers (crate-internal: the primitives operate on
-    /// these; applications go through the primitives).
-    pub(crate) fn locals(&self) -> &[Vec<T>] {
+    /// Per-node local blocks (crate-internal: the primitives operate on
+    /// these; applications go through the primitives). Node `n`'s block
+    /// is the slice `locals()[n]`.
+    pub(crate) fn locals(&self) -> &NodeSlab<T> {
         &self.locals
     }
 
-    /// Mutable per-node local buffers (crate-internal).
-    pub(crate) fn locals_mut(&mut self) -> &mut [Vec<T>] {
+    /// Mutable per-node local blocks (crate-internal).
+    pub(crate) fn locals_mut(&mut self) -> &mut NodeSlab<T> {
         &mut self.locals
     }
 
-    /// Assemble from parts (crate-internal).
+    /// Assemble from nested per-node buffers (crate-internal).
     pub(crate) fn from_parts(layout: MatrixLayout, locals: Vec<Vec<T>>) -> Self {
         debug_assert_eq!(locals.len(), layout.grid().p());
         for (node, buf) in locals.iter().enumerate() {
             debug_assert_eq!(buf.len(), layout.local_len(node), "node {node} buffer length");
+        }
+        DistMatrix { layout, locals: NodeSlab::from_nested_owned(locals) }
+    }
+
+    /// Assemble directly from an arena (crate-internal; the hot path —
+    /// no per-node allocations).
+    pub(crate) fn from_slab(layout: MatrixLayout, locals: NodeSlab<T>) -> Self {
+        debug_assert_eq!(locals.p(), layout.grid().p());
+        for node in 0..locals.p() {
+            debug_assert_eq!(
+                locals.len_of(node),
+                layout.local_len(node),
+                "node {node} buffer length"
+            );
         }
         DistMatrix { layout, locals }
     }
@@ -112,9 +134,13 @@ impl<T: Scalar> DistMatrix<T> {
     /// Validate the invariant that every node holds exactly its layout's
     /// local elements. Cheap; used liberally by tests.
     pub fn assert_consistent(&self) {
-        assert_eq!(self.locals.len(), self.layout.grid().p());
-        for (node, buf) in self.locals.iter().enumerate() {
-            assert_eq!(buf.len(), self.layout.local_len(node), "node {node} buffer length");
+        assert_eq!(self.locals.p(), self.layout.grid().p());
+        for node in 0..self.locals.p() {
+            assert_eq!(
+                self.locals.len_of(node),
+                self.layout.local_len(node),
+                "node {node} buffer length"
+            );
         }
     }
 }
@@ -161,6 +187,13 @@ mod tests {
         let m = DistMatrix::from_fn(layout(3, 3, 0, 0, Dist::Block), |i, j| (i + j) as i32);
         assert_eq!(m.get(2, 1), 3);
         m.assert_consistent();
+    }
+
+    #[test]
+    fn storage_is_one_contiguous_arena() {
+        let m = DistMatrix::from_fn(layout(8, 8, 3, 2, Dist::Cyclic), |i, j| (i * 8 + j) as i64);
+        assert_eq!(m.locals().total_len(), 64, "all elements in one allocation");
+        assert_eq!(m.locals().offsets().len(), m.layout().grid().p() + 1);
     }
 
     #[test]

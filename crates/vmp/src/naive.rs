@@ -149,7 +149,7 @@ pub fn naive_distribute<T: Scalar>(
 
     // Everyone needs a copy of its chunk; a naive program pulls each
     // element individually from the (single) holder.
-    let mut chunks: Vec<Vec<T>> = v.locals().to_vec();
+    let mut chunks: Vec<Vec<T>> = v.locals().to_nested();
     if let Placement::Concentrated(line) = placement {
         let mut outgoing: Vec<Vec<ElemMsg<T>>> = vec![Vec::new(); p];
         for node in 0..p {
@@ -238,7 +238,7 @@ pub fn naive_extract_replicated<T: Scalar>(
         _ => unreachable!("extract returns a concentrated vector"),
     };
     // ...then element-granular fan-out instead of a tree broadcast.
-    let mut chunks = v.locals().to_vec();
+    let mut chunks = v.locals().to_nested();
     let mut outgoing: Vec<Vec<ElemMsg<T>>> = vec![Vec::new(); p];
     for node in 0..p {
         let (gr, gc) = grid.grid_coords(node);

@@ -3,6 +3,7 @@
 
 use vmp_hypercube::collective;
 use vmp_hypercube::machine::Hypercube;
+use vmp_hypercube::slab::NodeSlab;
 use vmp_layout::{Axis, Dist, MatShape, MatrixLayout, Placement, VecEmbedding};
 
 use crate::elem::Scalar;
@@ -41,14 +42,15 @@ pub fn distribute<T: Scalar>(
     };
     let grid = vl.grid().clone();
 
-    // Get every node a copy of its chunk.
-    let mut chunks: Vec<Vec<T>> = v.locals().to_vec();
+    // Get every node a copy of its chunk (one arena clone, no per-node
+    // allocations).
+    let mut chunks: NodeSlab<T> = v.locals().clone();
     if let Placement::Concentrated(line) = placement {
         let (dims, root) = match axis {
             Axis::Row => (grid.row_dims().to_vec(), grid.row_coord(line)),
             Axis::Col => (grid.col_dims().to_vec(), grid.col_coord(line)),
         };
-        collective::broadcast(hc, &mut chunks, &dims, root);
+        collective::broadcast_slab(hc, &mut chunks, &dims, root);
     }
 
     // Local replication into the block.
@@ -61,12 +63,12 @@ pub fn distribute<T: Scalar>(
         Axis::Col => MatrixLayout::new(shape, grid.clone(), vl.dist().kind(), stack_kind),
     };
     let p = grid.p();
-    let mut locals: Vec<Vec<T>> = Vec::with_capacity(p);
+    let total: usize = (0..p).map(|node| layout.local_len(node)).sum();
+    let mut locals = NodeSlab::with_capacity(p, total);
     for node in 0..p {
         let (lr, lc) = layout.local_shape(node);
         let chunk = &chunks[node];
-        let mut buf = Vec::with_capacity(lr * lc);
-        match axis {
+        locals.push_seg_with(|buf| match axis {
             Axis::Row => {
                 debug_assert_eq!(chunk.len(), lc, "node {node} chunk/column mismatch");
                 for _ in 0..lr {
@@ -76,16 +78,13 @@ pub fn distribute<T: Scalar>(
             Axis::Col => {
                 debug_assert_eq!(chunk.len(), lr, "node {node} chunk/row mismatch");
                 for &x in chunk {
-                    for _ in 0..lc {
-                        buf.push(x);
-                    }
+                    buf.extend(std::iter::repeat_n(x, lc));
                 }
             }
-        }
-        locals.push(buf);
+        });
     }
     hc.charge_moves(layout.max_local_len());
-    DistMatrix::from_parts(layout, locals)
+    DistMatrix::from_slab(layout, locals)
 }
 
 #[cfg(test)]

@@ -74,7 +74,7 @@ pub fn insert<T: Scalar>(
                     Axis::Row => (grid.node_at(src_line, part), grid.node_at(target_line, part)),
                     Axis::Col => (grid.node_at(part, src_line), grid.node_at(part, target_line)),
                 };
-                outgoing[src].push(Block::new(dst, part as u64, v.locals()[src].clone()));
+                outgoing[src].push(Block::new(dst, part as u64, v.locals()[src].to_vec()));
             }
             let arrived = route_blocks(hc, outgoing);
             let mut chunks = vec![Vec::new(); parts];
@@ -135,7 +135,7 @@ fn target_line_chunks<T: Scalar>(v: &DistVector<T>, axis: Axis, line: usize) -> 
                 Axis::Row => grid.node_at(line, part),
                 Axis::Col => grid.node_at(part, line),
             };
-            v.locals()[node].clone()
+            v.locals()[node].to_vec()
         })
         .collect()
 }

@@ -2,6 +2,7 @@
 
 use vmp_hypercube::collective;
 use vmp_hypercube::machine::Hypercube;
+use vmp_hypercube::slab::NodeSlab;
 use vmp_layout::{Axis, Placement, VectorLayout};
 
 use crate::elem::{ReduceOp, Scalar};
@@ -10,47 +11,63 @@ use crate::vector::DistVector;
 
 /// Fold every node's local block along `axis` into a partial vector:
 /// for `Axis::Row`, partial `[lj] = op-fold over li`; for `Axis::Col`,
-/// partial `[li] = op-fold over lj`. Returns the per-node partials and
-/// charges the local flops.
+/// partial `[li] = op-fold over lj`. Returns the per-node partials (one
+/// arena) and charges the local flops. The fold streams the block with
+/// `chunks_exact` — contiguous row slices, same combine order as the
+/// naive offset walk.
 fn local_fold<T: Scalar, O: ReduceOp<T>>(
     hc: &mut Hypercube,
     m: &DistMatrix<T>,
     axis: Axis,
     op: O,
-) -> Vec<Vec<T>> {
+) -> NodeSlab<T> {
     let layout = m.layout();
     let p = layout.grid().p();
     let work = layout.max_local_len().saturating_mul(p);
     let locals = m.locals();
-    let partials = crate::par::map_nodes::<T, T>(p, work, |node| {
+    let total_hint: usize = (0..p)
+        .map(|node| {
+            let (lr, lc) = layout.local_shape(node);
+            match axis {
+                Axis::Row => lc,
+                Axis::Col => lr,
+            }
+        })
+        .sum();
+    let partials = crate::par::build_nodes(p, work, total_hint, |node, out| {
         let (lr, lc) = layout.local_shape(node);
         let buf = &locals[node];
-        let out_len = match axis {
-            Axis::Row => lc,
-            Axis::Col => lr,
-        };
-        let mut acc = vec![op.identity(); out_len];
         match axis {
             Axis::Row => {
-                for li in 0..lr {
-                    let row = &buf[li * lc..(li + 1) * lc];
-                    for (a, &v) in acc.iter_mut().zip(row) {
-                        *a = op.combine(*a, v);
+                // `out` may already hold earlier nodes' segments (the
+                // builder hands one shared buffer); fold into this
+                // node's freshly appended suffix only.
+                let start = out.len();
+                out.extend(std::iter::repeat_with(|| op.identity()).take(lc));
+                if lc > 0 {
+                    let acc = &mut out[start..];
+                    for row in buf.chunks_exact(lc) {
+                        for (a, &v) in acc.iter_mut().zip(row) {
+                            *a = op.combine(*a, v);
+                        }
                     }
                 }
             }
             Axis::Col => {
-                for li in 0..lr {
-                    let row = &buf[li * lc..(li + 1) * lc];
-                    let mut a = op.identity();
-                    for &v in row {
-                        a = op.combine(a, v);
+                if lc == 0 {
+                    out.extend(std::iter::repeat_with(|| op.identity()).take(lr));
+                } else {
+                    out.reserve(lr);
+                    for row in buf.chunks_exact(lc) {
+                        let mut a = op.identity();
+                        for &v in row {
+                            a = op.combine(a, v);
+                        }
+                        out.push(a);
                     }
-                    acc[li] = a;
                 }
             }
         }
-        acc
     });
     hc.charge_flops(layout.max_local_len());
     partials
@@ -95,8 +112,8 @@ pub fn reduce<T: Scalar, O: ReduceOp<T>>(
 ) -> DistVector<T> {
     let mut partials = local_fold(hc, m, axis, op);
     let dims = comm_dims(m.layout(), axis);
-    collective::allreduce(hc, &mut partials, &dims, |a, b| op.combine(a, b));
-    DistVector::from_parts(result_layout(m.layout(), axis, Placement::Replicated), partials)
+    collective::allreduce_slab(hc, &mut partials, &dims, |a, b| op.combine(a, b));
+    DistVector::from_slab(result_layout(m.layout(), axis, Placement::Replicated), partials)
 }
 
 /// As [`reduce`], but the result is **concentrated** on one grid line
@@ -118,8 +135,8 @@ pub fn reduce_to<T: Scalar, O: ReduceOp<T>>(
         Axis::Row => grid.row_coord(line),
         Axis::Col => grid.col_coord(line),
     };
-    collective::reduce(hc, &mut partials, &dims, root_coord, |a, b| op.combine(a, b));
-    DistVector::from_parts(result_layout(m.layout(), axis, Placement::Concentrated(line)), partials)
+    collective::reduce_slab(hc, &mut partials, &dims, root_coord, |a, b| op.combine(a, b));
+    DistVector::from_slab(result_layout(m.layout(), axis, Placement::Concentrated(line)), partials)
 }
 
 #[cfg(test)]

@@ -54,9 +54,9 @@ pub fn replicate<T: Scalar>(hc: &mut Hypercube, v: &DistVector<T>) -> DistVector
                 Axis::Row => (grid.row_dims().to_vec(), grid.row_coord(line)),
                 Axis::Col => (grid.col_dims().to_vec(), grid.col_coord(line)),
             };
-            let mut chunks = v.locals().to_vec();
-            collective::broadcast(hc, &mut chunks, &dims, root);
-            DistVector::from_parts(v.layout().with_placement(Placement::Replicated), chunks)
+            let mut chunks = v.locals().clone();
+            collective::broadcast_slab(hc, &mut chunks, &dims, root);
+            DistVector::from_slab(v.layout().with_placement(Placement::Replicated), chunks)
         }
     }
 }
@@ -77,17 +77,16 @@ pub fn concentrate<T: Scalar>(hc: &mut Hypercube, v: &DistVector<T>, line: usize
         Placement::Concentrated(src) if src == line => v.clone(),
         Placement::Replicated => {
             // Free: keep only the target line's copies.
-            let locals = (0..v.locals().len())
-                .map(
-                    |node| {
+            let locals =
+                (0..v.locals().p())
+                    .map(|node| {
                         if new_layout.holds(node) {
-                            v.locals()[node].clone()
+                            v.locals()[node].to_vec()
                         } else {
                             Vec::new()
                         }
-                    },
-                )
-                .collect();
+                    })
+                    .collect();
             DistVector::from_parts(new_layout, locals)
         }
         Placement::Concentrated(src_line) => {
@@ -102,7 +101,7 @@ pub fn concentrate<T: Scalar>(hc: &mut Hypercube, v: &DistVector<T>, line: usize
                     Axis::Row => (grid.node_at(src_line, part), grid.node_at(line, part)),
                     Axis::Col => (grid.node_at(part, src_line), grid.node_at(part, line)),
                 };
-                outgoing[src].push(Block::new(dst, part as u64, v.locals()[src].clone()));
+                outgoing[src].push(Block::new(dst, part as u64, v.locals()[src].to_vec()));
             }
             let arrived = route_blocks(hc, outgoing);
             let locals = arrived

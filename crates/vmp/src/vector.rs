@@ -1,7 +1,8 @@
 //! The distributed vector.
 
-use vmp_hypercube::collective::allreduce;
+use vmp_hypercube::collective::allreduce_slab;
 use vmp_hypercube::machine::Hypercube;
+use vmp_hypercube::slab::NodeSlab;
 use vmp_layout::{Axis, Placement, VecEmbedding, VectorLayout};
 
 use crate::elem::{ReduceOp, Scalar};
@@ -10,10 +11,13 @@ use crate::elem::{ReduceOp, Scalar};
 /// [`VectorLayout`]. Replicated embeddings store every copy, and the
 /// copies are maintained bit-identical by every operation (checked by
 /// [`DistVector::assert_consistent`]).
+///
+/// Storage is a single arena-backed [`NodeSlab`] — all chunks in one
+/// contiguous allocation; see DESIGN.md § Data plane.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DistVector<T> {
     layout: VectorLayout,
-    locals: Vec<Vec<T>>,
+    locals: NodeSlab<T>,
 }
 
 impl<T: Scalar> DistVector<T> {
@@ -21,17 +25,17 @@ impl<T: Scalar> DistVector<T> {
     #[must_use]
     pub fn from_fn(layout: VectorLayout, mut f: impl FnMut(usize) -> T) -> Self {
         let p = layout.grid().p();
-        let mut locals: Vec<Vec<T>> = Vec::with_capacity(p);
+        let mut locals = NodeSlab::with_capacity(p, layout.stored_elements());
         for node in 0..p {
             let len = layout.local_len(node);
-            let mut buf = Vec::with_capacity(len);
-            if len > 0 {
-                let part = layout.part_of(node);
-                for slot in 0..len {
-                    buf.push(f(layout.dist().global_index(part, slot)));
+            locals.push_seg_with(|buf| {
+                if len > 0 {
+                    let part = layout.part_of(node);
+                    for slot in 0..len {
+                        buf.push(f(layout.dist().global_index(part, slot)));
+                    }
                 }
-            }
-            locals.push(buf);
+            });
         }
         DistVector { layout, locals }
     }
@@ -74,14 +78,21 @@ impl<T: Scalar> DistVector<T> {
         (0..self.n()).map(|i| self.get(i)).collect()
     }
 
-    /// Per-node local chunks (crate-internal).
-    pub(crate) fn locals(&self) -> &[Vec<T>] {
+    /// Per-node local chunks (crate-internal). Node `n`'s chunk is the
+    /// slice `locals()[n]`.
+    pub(crate) fn locals(&self) -> &NodeSlab<T> {
         &self.locals
     }
 
-    /// Assemble from parts (crate-internal).
+    /// Assemble from nested per-node chunks (crate-internal).
     pub(crate) fn from_parts(layout: VectorLayout, locals: Vec<Vec<T>>) -> Self {
         debug_assert_eq!(locals.len(), layout.grid().p());
+        DistVector { layout, locals: NodeSlab::from_nested_owned(locals) }
+    }
+
+    /// Assemble directly from an arena (crate-internal; the hot path).
+    pub(crate) fn from_slab(layout: VectorLayout, locals: NodeSlab<T>) -> Self {
+        debug_assert_eq!(locals.p(), layout.grid().p());
         DistVector { layout, locals }
     }
 
@@ -98,23 +109,24 @@ impl<T: Scalar> DistVector<T> {
         for (node, buf) in locals.iter().enumerate() {
             assert_eq!(buf.len(), layout.local_len(node), "node {node} chunk length");
         }
-        DistVector { layout, locals }
+        DistVector { layout, locals: NodeSlab::from_nested_owned(locals) }
     }
 
     /// Read-only view of the per-node chunks (backend counterpart of
-    /// [`DistVector::from_chunks`]).
+    /// [`DistVector::from_chunks`]): node `n`'s chunk is `chunks()[n]`,
+    /// and `chunks().to_nested()` recovers the nested `Vec<Vec<T>>` form.
     #[must_use]
-    pub fn chunks(&self) -> &[Vec<T>] {
+    pub fn chunks(&self) -> &NodeSlab<T> {
         &self.locals
     }
 
     /// Validate chunk lengths and (for replicated embeddings) that all
     /// replicas agree.
     pub fn assert_consistent(&self) {
-        assert_eq!(self.locals.len(), self.layout.grid().p());
-        for node in 0..self.locals.len() {
+        assert_eq!(self.locals.p(), self.layout.grid().p());
+        for node in 0..self.locals.p() {
             assert_eq!(
-                self.locals[node].len(),
+                self.locals.len_of(node),
                 self.layout.local_len(node),
                 "node {node} chunk length"
             );
@@ -144,13 +156,14 @@ impl<T: Scalar> DistVector<T> {
         lift: impl Fn(usize, T) -> U,
     ) -> U {
         let grid = self.layout.grid().clone();
-        // Local fold over the chunk.
-        let mut partials: Vec<Vec<U>> = Vec::with_capacity(self.locals.len());
+        let p = self.locals.p();
+        // Local fold over the chunk: one scalar per node, in one arena.
+        let mut partials: NodeSlab<U> = NodeSlab::with_capacity(p, p);
         let mut max_chunk = 0usize;
-        for node in 0..self.locals.len() {
+        for node in 0..p {
             let buf = &self.locals[node];
             if buf.is_empty() {
-                partials.push(vec![op.identity()]);
+                partials.push_seg_with(|data| data.push(op.identity()));
                 continue;
             }
             max_chunk = max_chunk.max(buf.len());
@@ -160,7 +173,7 @@ impl<T: Scalar> DistVector<T> {
                 let i = self.layout.dist().global_index(part, slot);
                 acc = op.combine(acc, lift(i, v));
             }
-            partials.push(vec![acc]);
+            partials.push_seg_with(|data| data.push(acc));
         }
         hc.charge_flops(max_chunk);
 
@@ -174,14 +187,14 @@ impl<T: Scalar> DistVector<T> {
         match self.layout.embedding() {
             VecEmbedding::Linear => {
                 let dims: Vec<u32> = grid.cube().iter_dims().collect();
-                allreduce(hc, &mut partials, &dims, |a, b| op.combine(a, b));
+                allreduce_slab(hc, &mut partials, &dims, |a, b| op.combine(a, b));
             }
             VecEmbedding::Aligned { axis, placement } => {
                 let primary_line = match placement {
                     Placement::Replicated => None, // keep only grid line 0
                     Placement::Concentrated(line) => Some(*line),
                 };
-                for node in 0..partials.len() {
+                for node in 0..p {
                     let (gr, gc) = grid.grid_coords(node);
                     let ortho = match axis {
                         Axis::Row => gr,
@@ -196,7 +209,7 @@ impl<T: Scalar> DistVector<T> {
                     }
                 }
                 let dims: Vec<u32> = grid.cube().iter_dims().collect();
-                allreduce(hc, &mut partials, &dims, |a, b| op.combine(a, b));
+                allreduce_slab(hc, &mut partials, &dims, |a, b| op.combine(a, b));
             }
         }
         partials[0][0]

@@ -3,6 +3,14 @@
 //! and bit-identical either way; only host wall-clock parallelism is
 //! lost, which no test or simulated-cost result depends on.
 
+/// Mirrors `rayon::current_num_threads()`. The stand-in executes on the
+/// calling thread only, so the pool size is always 1 — callers use this
+/// to skip fan-out bookkeeping that cannot pay for itself here.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    1
+}
+
 /// The prelude, mirroring `rayon::prelude`.
 pub mod prelude {
     /// `into_par_iter()` — sequential stand-in returning the plain
