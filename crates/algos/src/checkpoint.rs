@@ -113,17 +113,23 @@ impl<'a> Reader<'a> {
         self.pos = end;
         Ok(s)
     }
+    /// A fixed-size little-endian field; `take` already bounds-checked,
+    /// so a length mismatch decodes as a truncation error rather than a
+    /// panic (vmplint rule P1 keeps this path unwrap-free).
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], CheckpointError> {
+        self.take(N)?.try_into().map_err(|_| CheckpointError::Truncated)
+    }
     fn u8(&mut self) -> Result<u8, CheckpointError> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> Result<u16, CheckpointError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
     fn u32(&mut self) -> Result<u32, CheckpointError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
     fn u64(&mut self) -> Result<u64, CheckpointError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
     fn usize_(&mut self) -> Result<usize, CheckpointError> {
         usize::try_from(self.u64()?).map_err(|_| CheckpointError::Truncated)

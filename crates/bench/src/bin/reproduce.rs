@@ -43,6 +43,14 @@ fn main() {
             for (id, desc) in DESCRIPTIONS {
                 println!("{id:4} {desc}");
             }
+            // Not an experiment, but part of reproducing the repo's
+            // claims: the invariant linter shares this binary's exit
+            // conventions (0 clean, 2 violations/bad usage, 1 I/O).
+            println!(
+                "\ntooling (not runnable from this binary):\n  \
+                 vmplint   cargo run --release -p vmplint -- [--json PATH]   \
+                 determinism/aliasing/panic-surface lint over the library crates"
+            );
             return;
         } else if a == "--help" || a == "-h" {
             eprintln!("{}", usage());

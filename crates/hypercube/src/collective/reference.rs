@@ -66,6 +66,7 @@ pub fn allgather<T: Clone>(hc: &mut Hypercube, locals: &mut [Vec<T>], dims: &[u3
             let hi_len = locals[partner].len();
             max_len = max_len.max(lo_len.max(hi_len));
             total += (lo_len + hi_len) as u64;
+            // vmplint: allow(s1) — seed reference body preserved verbatim; splits the host-side nested-Vec view, not slab storage
             let (lo_part, hi_part) = locals.split_at_mut(partner);
             let lo = &mut lo_part[node];
             let hi = &mut hi_part[0];
@@ -223,6 +224,7 @@ pub fn alltoall<T>(hc: &mut Hypercube, send: Vec<Vec<Vec<T>>>, dims: &[u32]) -> 
                 debug_assert!(slots[src].is_none(), "duplicate block from source {src}");
                 slots[src] = Some(data);
             }
+            // vmplint: allow(p1) — seed reference body preserved verbatim; the all-to-all schedule delivers exactly one block per source (debug_assert above)
             slots.into_iter().map(|s| s.expect("one block from every source")).collect()
         })
         .collect()
@@ -307,6 +309,7 @@ pub fn allreduce<T: Copy>(
             let len = locals[node].len();
             max_len = max_len.max(len);
             total += 2 * len as u64;
+            // vmplint: allow(s1) — seed reference body preserved verbatim; splits the host-side nested-Vec view, not slab storage
             let (lo_part, hi_part) = locals.split_at_mut(partner);
             let lo = &mut lo_part[node];
             let hi = &mut hi_part[0];
@@ -355,6 +358,7 @@ pub fn scan_inclusive<T: Copy>(
             max_len = max_len.max(len);
             total_elems += 2 * len as u64;
 
+            // vmplint: allow(s1) — seed reference body preserved verbatim; splits the host-side nested-Vec view, not slab storage
             let (lo_part, hi_part) = totals.split_at_mut(partner);
             let lo_total = &mut lo_part[node];
             let hi_total = &mut hi_part[0];
@@ -409,6 +413,7 @@ pub fn scan_exclusive<T: Copy>(
             assert_eq!(len, totals[partner].len(), "scan requires equal buffer lengths");
             max_len = max_len.max(len);
             total_elems += 2 * len as u64;
+            // vmplint: allow(s1) — seed reference body preserved verbatim; splits the host-side nested-Vec view, not slab storage
             let (lo_part, hi_part) = totals.split_at_mut(partner);
             let lo_total = &mut lo_part[node];
             let hi_total = &mut hi_part[0];

@@ -406,7 +406,9 @@ pub fn local_compute<T: Send, F>(
 }
 
 /// As [`local_compute`], but over a flat [`crate::slab::NodeSlab`]: each
-/// node's kernel gets its contiguous segment slice.
+/// node's kernel gets its contiguous segment slice. The fan-out decision
+/// and execution are [`crate::par::for_each_node`] — the same shared
+/// helper the vmp kernel drivers use, so gating semantics cannot drift.
 pub fn local_compute_slab<T: Send, F>(
     hc: &mut Hypercube,
     slab: &mut crate::slab::NodeSlab<T>,
@@ -415,16 +417,8 @@ pub fn local_compute_slab<T: Send, F>(
 ) where
     F: Fn(NodeId, &mut [T]) + Sync,
 {
-    use rayon::prelude::*;
     let total_work = critical_flops.saturating_mul(slab.p());
-    let mut segs = slab.segs_mut();
-    if crate::par::should_parallelise(total_work) {
-        segs.par_iter_mut().enumerate().for_each(|(node, buf)| f(node, buf));
-    } else {
-        for (node, buf) in segs.iter_mut().enumerate() {
-            f(node, buf);
-        }
-    }
+    crate::par::for_each_node(slab, total_work, f);
     hc.charge_flops(critical_flops);
 }
 

@@ -14,7 +14,18 @@
 //! count; `0` means "always parallel"). The variable is read once per
 //! process and cached.
 
+//!
+//! The slab fan-out helpers ([`for_each_node`], [`build_nodes`]) live
+//! here too, so the gating decision and the code that acts on it cannot
+//! drift apart: `vmp-core`'s kernel drivers and the machine's own
+//! [`crate::machine::local_compute_slab`] all call the same two
+//! functions (vmplint's DESIGN.md section documents the invariant).
+
 use std::sync::OnceLock;
+
+use rayon::prelude::*;
+
+use crate::slab::NodeSlab;
 
 /// Default minimum total work (elements touched across all nodes)
 /// before per-node loops fan out to rayon.
@@ -48,9 +59,93 @@ pub fn should_parallelise(total_work: usize) -> bool {
     rayon::current_num_threads() > 1 && total_work >= threshold()
 }
 
+/// Run `f(node, segment)` for every node's slab segment, in parallel
+/// when the estimated machine-wide work is large enough to amortise the
+/// fork/join.
+pub fn for_each_node<T: Send>(
+    slab: &mut NodeSlab<T>,
+    work_hint: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    if should_parallelise(work_hint) && slab.p() > 1 {
+        slab.segs_mut().into_par_iter().enumerate().for_each(|(node, seg)| f(node, seg));
+    } else {
+        for node in 0..slab.p() {
+            f(node, slab.seg_mut(node));
+        }
+    }
+}
+
+/// Build one output segment per node into a fresh arena.
+///
+/// `f(node, buf)` appends node `node`'s output to `buf`. On the serial
+/// path the slab is built directly — one allocation for the whole
+/// machine, zero intermediate copies. On the parallel path (work at or
+/// above the threshold) each node's buffer is produced independently and
+/// the results are stitched into the arena afterwards.
+///
+/// **Contract:** `buf` may already contain earlier nodes' segments
+/// (it is the arena's shared backing store on the serial path), so `f`
+/// must only append; any in-place fix-up must be confined to the suffix
+/// `buf[start..]` where `start` is `buf.len()` at entry.
+pub fn build_nodes<U: Send>(
+    p: usize,
+    work_hint: usize,
+    total_hint: usize,
+    f: impl Fn(usize, &mut Vec<U>) + Sync,
+) -> NodeSlab<U> {
+    if should_parallelise(work_hint) && p > 1 {
+        let nested: Vec<Vec<U>> = (0..p)
+            .into_par_iter()
+            .map(|node| {
+                let mut buf = Vec::new();
+                f(node, &mut buf);
+                buf
+            })
+            .collect();
+        NodeSlab::from_nested_owned(nested)
+    } else {
+        let mut slab = NodeSlab::with_capacity(p, total_hint);
+        for node in 0..p {
+            slab.push_seg_with(|buf| f(node, buf));
+        }
+        slab
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn labelled(p: usize, len: usize) -> NodeSlab<u64> {
+        NodeSlab::from_nested_owned((0..p).map(|n| vec![n as u64; len]).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn serial_and_parallel_paths_agree() {
+        let mut small = labelled(8, 4);
+        let mut large = labelled(8, 4);
+        let f = |node: usize, seg: &mut [u64]| {
+            for v in seg.iter_mut() {
+                *v = v.wrapping_mul(7).wrapping_add(node as u64);
+            }
+        };
+        for_each_node(&mut small, 1, f); // serial path
+        for_each_node(&mut large, 1 << 20, f); // parallel path
+        assert_eq!(small, large);
+    }
+
+    #[test]
+    fn build_nodes_produces_per_node_segments_on_both_paths() {
+        let f = |n: usize, buf: &mut Vec<usize>| buf.extend(std::iter::repeat_n(n, n));
+        let serial = build_nodes(5, 1, 0, f);
+        let parallel = build_nodes(5, 1 << 20, 0, f);
+        assert_eq!(serial, parallel);
+        for n in 0..5 {
+            assert_eq!(serial.seg(n), vec![n; n].as_slice());
+        }
+        assert_eq!(serial.total_len(), 10);
+    }
 
     #[test]
     fn default_threshold_matches_historic_constant() {

@@ -140,7 +140,9 @@ fn plain_sweep<T>(hc: &mut Hypercube, in_flight: &mut [Vec<Block<T>>]) {
 fn resilient_sweeps<T>(hc: &mut Hypercube, in_flight: &mut [Vec<Block<T>>]) {
     let cube = hc.cube();
     let p = cube.nodes();
+    // vmplint: allow(p1) — only reachable from route_blocks after fault state is confirmed installed
     let plan = hc.fault_plan().expect("fault state present").clone();
+    // vmplint: allow(p1) — same invariant as the line above
     let config = *hc.resilient_config().expect("fault state present");
     let hosts: Vec<NodeId> = (0..p).map(|n| hc.host_of(n)).collect();
 
@@ -287,6 +289,7 @@ pub fn route_values<T>(
     route_blocks(hc, blocks)
         .into_iter()
         .map(|arr| {
+            // vmplint: allow(p1) — every block was built with vec![v] four lines up
             arr.into_iter().map(|mut b| (b.tag, b.data.pop().expect("one-element block"))).collect()
         })
         .collect()

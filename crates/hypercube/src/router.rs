@@ -105,6 +105,7 @@ pub fn route_elements<T: Copy>(
             let qlen = queues[node].len();
             let mut kept = 0usize;
             for _ in 0..qlen {
+                // vmplint: allow(p1) — loop bound is the queue length captured two lines up
                 let m = queues[node].pop_front().expect("queue length checked");
                 let diff = m.dst ^ node;
                 debug_assert!(diff != 0);

@@ -211,6 +211,7 @@ fn reduce_scatter<T: Copy>(
             let mid = lo + (hi - lo) / 2;
             // Lower-coordinate node keeps [lo, mid); the partner (whose
             // coordinate bit j is 1) keeps [mid, hi).
+            // vmplint: allow(s1) — splits the host-side nested-Vec view, not slab storage
             let (lo_part, hi_part) = locals.split_at_mut(partner);
             let a = &mut lo_part[node]; // covers [lo, hi) locally
             let b = &mut hi_part[0];

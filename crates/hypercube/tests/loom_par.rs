@@ -1,0 +1,130 @@
+//! Loom model test for the shared host-parallelism module
+//! (`vmp_hypercube::par`).
+//!
+//! Two invariants are modelled:
+//!
+//! 1. **Threshold gating is a pure function of its inputs.** However
+//!    threads race to read it, `should_parallelise` must return the same
+//!    answer for the same work hint for the whole process lifetime —
+//!    the `OnceLock` behind `threshold()` initialises exactly once even
+//!    under concurrent first use.
+//!
+//! 2. **Fan-in combine order is by node index, not completion order.**
+//!    `build_nodes` / `for_each_node` stitch per-node results into the
+//!    arena by node id; a scheduler that finishes node 3 before node 0
+//!    must produce a bit-identical slab. The closure here records the
+//!    order nodes were *executed* in, perturbs it with `yield_now`, and
+//!    the test asserts the *output* is invariant while allowing the
+//!    execution order to vary freely.
+//!
+//! Under plain `cargo test` the vendored loom stand-in re-runs each
+//! model closure 8 times on real OS threads; the dedicated CI job
+//! compiles with `--cfg loom` for a 256-iteration sweep. Restoring the
+//! registry `loom` crate upgrades this file to exhaustive interleaving
+//! exploration with no source changes.
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+
+use vmp_hypercube::par::{build_nodes, for_each_node, should_parallelise, threshold};
+use vmp_hypercube::slab::NodeSlab;
+
+/// Invariant 1: concurrent first readers of the threshold all observe
+/// the same value, and the gate stays consistent with it.
+#[test]
+fn threshold_gate_is_stable_under_concurrent_first_use() {
+    loom::model(|| {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let seen = Arc::clone(&seen);
+                thread::spawn(move || {
+                    let t = threshold();
+                    // The gate must agree with the value this thread read.
+                    let gate_hi = should_parallelise(usize::MAX);
+                    let gate_lo = t > 0 && should_parallelise(t - 1);
+                    seen.lock().unwrap().push((t, gate_hi, gate_lo));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 4);
+        // Every thread saw the same threshold and the same gate answers.
+        assert!(seen.windows(2).all(|w| w[0] == w[1]), "threshold raced: {seen:?}");
+        // Below-threshold work never fans out, whatever the pool size.
+        assert!(seen.iter().all(|&(_, _, gate_lo)| !gate_lo));
+    });
+}
+
+/// Invariant 2a: `build_nodes` output is identical whichever order the
+/// scheduler runs the per-node closures in.
+#[test]
+fn build_nodes_fan_in_is_ordered_by_node_index() {
+    const P: usize = 8;
+    // Reference result from the guaranteed-serial path (work hint 0).
+    let reference = build_nodes(P, 0, 0, fill_node);
+    loom::model(move || {
+        let started = Arc::new(AtomicUsize::new(0));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (started2, order2) = (Arc::clone(&started), Arc::clone(&order));
+        // Work hint above any plausible threshold: exercises the
+        // parallel stitch path whenever the host pool allows it.
+        let slab = build_nodes(P, usize::MAX, 0, move |node, buf| {
+            // Perturb scheduling: even nodes yield before producing
+            // output so odd nodes tend to finish first.
+            if node % 2 == 0 {
+                thread::yield_now();
+            }
+            started2.fetch_add(1, Ordering::SeqCst);
+            order2.lock().unwrap().push(node);
+            fill_node(node, buf);
+        });
+        assert_eq!(started.load(Ordering::SeqCst), P);
+        assert_eq!(order.lock().unwrap().len(), P);
+        // Execution order is free; the stitched arena is not.
+        assert_eq!(slab, reference, "fan-in combine order leaked into the output");
+        for node in 0..P {
+            assert_eq!(slab.seg(node).first(), Some(&(node as u64 * 1000)));
+        }
+    });
+}
+
+/// Invariant 2b: same property for the in-place driver `for_each_node`,
+/// which is what `machine::local_compute_slab` runs under every
+/// collective's local phase.
+#[test]
+fn for_each_node_result_is_schedule_invariant() {
+    const P: usize = 8;
+    let mut reference = labelled(P);
+    for_each_node(&mut reference, 0, bump_seg); // serial path
+    loom::model(move || {
+        let mut slab = labelled(P);
+        for_each_node(&mut slab, usize::MAX, |node, seg| {
+            if node % 3 == 0 {
+                thread::yield_now();
+            }
+            bump_seg(node, seg);
+        });
+        assert_eq!(slab, reference);
+    });
+}
+
+fn fill_node(node: usize, buf: &mut Vec<u64>) {
+    // Variable-length segments make any stitch-order bug change the
+    // offset table, not just the payload.
+    buf.extend((0..node + 1).map(|i| node as u64 * 1000 + i as u64));
+}
+
+fn labelled(p: usize) -> NodeSlab<u64> {
+    NodeSlab::from_nested_owned((0..p).map(|n| vec![n as u64; 4]).collect::<Vec<_>>())
+}
+
+fn bump_seg(node: usize, seg: &mut [u64]) {
+    for v in seg.iter_mut() {
+        *v = v.wrapping_mul(31).wrapping_add(node as u64);
+    }
+}

@@ -1,6 +1,11 @@
 //! Property-based tests of the machine substrate: random traffic through
 //! the routers, random subcube collectives against serial folds.
 
+// Proptest sweeps are far too slow under Miri's interpreter; the
+// dedicated Miri CI job covers the library's unsafe/aliasing surface
+// via the unit tests instead (see .github/workflows/ci.yml).
+#![cfg(not(miri))]
+
 use proptest::prelude::*;
 
 use vmp_hypercube::collective::{

@@ -76,6 +76,33 @@ pub fn predicted_insert(layout: &MatrixLayout, cost: &CostModel) -> f64 {
     cost.moves(layout.cols().max_count())
 }
 
+/// Predicted time of `reduce` along rows on a machine degraded by
+/// single-hop concentration with the given `load_factor` (the largest
+/// number of logical nodes co-hosted on one physical node; `1` means
+/// healthy and the formula collapses to [`predicted_reduce`]).
+///
+/// Degradation changes exactly one thing in the machine's charging: a
+/// host running `load_factor` logical nodes serializes their *compute*,
+/// so every `charge_flops` superstep scales by the load factor — the
+/// local fold and the per-step combines here. Message supersteps do
+/// **not** scale: each butterfly step is still one blocked superstep as
+/// long as at least one of its exchange pairs crosses physical hosts,
+/// which holds whenever the dead set is small relative to the row
+/// dimension (every dead node has `d_r - 1` other row partners besides
+/// the one it may share a host with). Intra-host pairs within a step
+/// simply stop being channel traffic.
+#[must_use]
+pub fn predicted_reduce_degraded(
+    layout: &MatrixLayout,
+    cost: &CostModel,
+    load_factor: usize,
+) -> f64 {
+    let block = local_block(layout);
+    let chunk = layout.cols().max_count();
+    let dr = layout.grid().dr() as f64;
+    cost.flops(load_factor * block) + dr * (cost.message(chunk) + cost.flops(load_factor * chunk))
+}
+
 /// The generic lower bound for a primitive that must touch all `m`
 /// elements and combine information across the machine:
 /// `Omega(gamma * m/p + alpha * lg p)`.
@@ -180,6 +207,74 @@ mod tests {
             hc.elapsed_us(),
             predicted_distribute_concentrated(&l, &cost)
         );
+    }
+
+    #[test]
+    fn degraded_formula_collapses_to_healthy_at_load_factor_one() {
+        for cost in [CostModel::unit(), CostModel::cm2()] {
+            for (n, dim) in [(16usize, 4u32), (32, 6), (24, 4)] {
+                let l = layout(n, dim);
+                assert_eq!(
+                    predicted_reduce_degraded(&l, &cost, 1),
+                    predicted_reduce(&l, &cost),
+                    "lf = 1 must be the healthy formula (n={n} dim={dim})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_reduce_matches_formula_and_stays_bit_identical() {
+        let cost = CostModel::unit();
+        for (dead, dim, n) in [(vec![5usize], 4u32, 16usize), (vec![2, 6], 4, 24), (vec![1], 6, 32)]
+        {
+            let l = layout(n, dim);
+            let gen = |i: usize, j: usize| ((i * 31 + j * 17) as f64).sin();
+
+            let mut healthy = Hypercube::new(dim, cost);
+            let m_h = DistMatrix::from_fn(l.clone(), gen);
+            let want = primitives::reduce(&mut healthy, &m_h, Axis::Row, Sum).to_dense();
+
+            let mut hc = Hypercube::new(dim, cost);
+            let m_d = DistMatrix::from_fn(l.clone(), gen);
+            let map = crate::degrade::apply_degradation(
+                &mut hc,
+                &dead,
+                &crate::degrade::resident_sizes(m_d.locals()),
+            );
+            assert!(map.load_factor() >= 2, "dead set must actually concentrate");
+            // Drop the one-off migration charge; the host map and load
+            // factor survive reset, so what remains is the steady-state
+            // degraded cost of the primitive itself.
+            hc.reset();
+            let got = primitives::reduce(&mut hc, &m_d, Axis::Row, Sum).to_dense();
+            assert_eq!(got, want, "degraded reduce must stay bit-identical");
+
+            let predicted = predicted_reduce_degraded(&l, &cost, map.load_factor());
+            assert!(
+                (hc.elapsed_us() - predicted).abs() < 1e-9,
+                "dead={dead:?} dim={dim} n={n}: simulated {} vs predicted {predicted}",
+                hc.elapsed_us()
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_reduce_slowdown_is_compute_only() {
+        // Degradation serializes co-hosted *compute*; the butterfly's
+        // message supersteps are unchanged while every step keeps at
+        // least one physical link. The formula therefore predicts a gap
+        // of exactly (lf - 1) * (flops(block) + d_r * flops(chunk)).
+        let cost = CostModel::cm2();
+        let l = layout(32, 6);
+        let block = local_block(&l);
+        let chunk = l.cols().max_count();
+        let dr = l.grid().dr() as f64;
+        for lf in [2usize, 3, 4] {
+            let gap = predicted_reduce_degraded(&l, &cost, lf) - predicted_reduce(&l, &cost);
+            let expect = (lf - 1) as f64 * (cost.flops(block) + dr * cost.flops(chunk));
+            assert!((gap - expect).abs() < 1e-9, "lf={lf}: gap {gap} expected {expect}");
+        }
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub fn gather_by_index<T: Scalar>(
             let i = b.tag as usize;
             chunk[layout.dist().local_index(i)] = Some(b.data[0]);
         }
+        // vmplint: allow(p1) — the request phase sends exactly one tag per local slot, so every slot is answered
         locals[node] = chunk.into_iter().map(|s| s.expect("every request answered")).collect();
     }
     DistVector::from_parts(layout, locals)

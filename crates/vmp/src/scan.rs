@@ -199,6 +199,7 @@ pub fn segmented_reduce<T: Scalar, O: ReduceOp<T>>(
         route_permutation(hc, flags, |i| if i > 0 { Some(i - 1) } else { None }, Some(true));
     let rev_flags = reverse(hc, &shifted);
     let copied = segmented_scan_inclusive(hc, &rev_some, &rev_flags, FirstSome);
+    // vmplint: allow(p1) — rev_flags marks position 0 a segment start, so the segmented scan covers every index
     let rev_out = copied.map(hc, |_, o| o.expect("every position is in a segment"));
     reverse(hc, &rev_out)
 }
@@ -264,6 +265,7 @@ pub fn route_permutation<T: Scalar>(
         }
         locals[dst] = chunk
             .into_iter()
+            // vmplint: allow(p1) — documented contract: callers without a fill value must cover every position
             .map(|slot| slot.or(fill).expect("uncovered position with no fill value"))
             .collect();
     }
@@ -337,6 +339,7 @@ pub fn pack<T: Scalar>(
             let t = b.tag as usize;
             chunk[new_layout.dist().local_index(t)] = Some(b.data[0]);
         }
+        // vmplint: allow(p1) — pack ranks are a permutation of 0..len, so the chunk is dense by construction
         *local = chunk.into_iter().map(|s| s.expect("dense packing")).collect();
     }
     DistVector::from_parts(new_layout, locals)

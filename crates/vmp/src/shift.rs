@@ -80,7 +80,9 @@ pub fn shift<T: Scalar>(
         };
         // A masked elementwise pass writes the constant into the vacated
         // lines (local; one flop per element).
+        // vmplint: allow(p1) — this branch runs only for offset != 0, so at least one line is vacated
         let first = *vacated.first().expect("nonzero offset");
+        // vmplint: allow(p1) — same invariant as the line above
         let last = *vacated.last().expect("nonzero offset");
         out.map_inplace(hc, move |i, j, x| {
             let line = match axis {

@@ -1,0 +1,8 @@
+// Fixture: three violations — a W1 for the missing justification, the
+// P1 it fails to suppress, and a W1 for an unknown rule id.
+
+pub fn sloppy(v: Vec<u64>) -> u64 {
+    let x = v.first().unwrap(); // vmplint: allow(p1)
+    // vmplint: allow(zz) — no such rule exists
+    *x
+}

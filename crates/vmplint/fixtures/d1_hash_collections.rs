@@ -1,0 +1,17 @@
+// Fixture: D1 must fire five times (two on the import line, then one
+// per use of HashMap / HashSet / HashMap).
+// Hash iteration order is seeded per process; a collective driven by it
+// would produce run-dependent payload orders.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn route_table(p: usize) -> HashMap<usize, usize> {
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut table = HashMap::new();
+    for node in 0..p {
+        if seen.insert(node) {
+            table.insert(node, node ^ 1);
+        }
+    }
+    table
+}

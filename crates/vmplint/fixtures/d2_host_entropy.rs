@@ -1,0 +1,15 @@
+// Fixture: D2 must fire four times (Instant::now, SystemTime import,
+// SystemTime::now call — one finding per line — and thread_rng).
+// Host clocks and unseeded entropy make the simulated run depend on the
+// machine it happens to execute on.
+
+use std::time::SystemTime;
+
+pub fn stamp() -> u128 {
+    let t0 = std::time::Instant::now();
+    let wall = SystemTime::now();
+    let _ = wall;
+    let mut rng = rand::thread_rng();
+    let _ = &mut rng;
+    t0.elapsed().as_nanos()
+}

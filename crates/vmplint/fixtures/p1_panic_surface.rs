@@ -1,0 +1,12 @@
+// Fixture: P1 must fire three times (unwrap, expect, todo!).
+// One malformed element would take down the whole collective instead of
+// surfacing a typed error.
+
+pub fn combine(blocks: Vec<Option<Vec<f64>>>) -> Vec<f64> {
+    let first = blocks.first().unwrap().clone();
+    let block = first.expect("block present");
+    if block.is_empty() {
+        todo!("decide what an empty block means");
+    }
+    block
+}

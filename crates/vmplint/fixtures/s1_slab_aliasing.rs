@@ -1,0 +1,12 @@
+// Fixture: S1 must fire three times (accessor-table indexing via
+// `offsets()[`, private-field indexing via `.offsets[`, and a manual
+// `split_at_mut`).
+// Re-deriving segment bounds by hand bypasses the aliasing argument the
+// slab accessors (`pair_mut`, `seg_mut`, `push_seg_with`) encapsulate.
+
+pub fn manual_pair(slab: &mut NodeSlab<u64>, a: usize, b: usize) -> (u64, u64) {
+    let start = slab.offsets()[a];
+    let end = self.offsets[b];
+    let (lo, hi) = slab.data_mut().split_at_mut(end);
+    (lo[start], hi[0])
+}

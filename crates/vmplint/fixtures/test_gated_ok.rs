@@ -1,0 +1,19 @@
+// Fixture: zero violations, zero waivers. Patterns inside strings,
+// comments and #[cfg(test)] spans must never fire.
+
+pub fn clean() -> &'static str {
+    // A HashMap in prose, x.unwrap() in prose, Instant::now in prose.
+    "use std::collections::HashMap; x.unwrap(); Instant::now()"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_unwrap_and_hash() {
+        let mut m = HashMap::new();
+        m.insert(1, std::time::Instant::now());
+        let _ = m.get(&1).unwrap();
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: zero violations, two census entries — a trailing waiver and
+// a standalone one on the line above its finding.
+
+pub fn checked(v: &[u64], k: usize) -> u64 {
+    assert!(k < v.len());
+    let head = v.iter().next().unwrap(); // vmplint: allow(p1) — asserted non-empty above
+    // vmplint: allow(s1) — splits a host-side scratch Vec, not slab storage
+    let (lo, _hi) = v.to_vec().split_at_mut(k);
+    *head + lo.len() as u64
+}

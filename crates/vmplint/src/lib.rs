@@ -1,0 +1,289 @@
+//! `vmplint` — the workspace's own static-analysis pass.
+//!
+//! Walks every `.rs` file in the swept crates (`hypercube`, `vmp`,
+//! `layout`, `algos`) and enforces the repository-specific invariants
+//! that the dynamic test suite can only spot after the fact:
+//!
+//! * **D1** — no `HashMap`/`HashSet` (iteration-order nondeterminism
+//!   breaks the bit-identity guarantees);
+//! * **D2** — no host clocks or unseeded entropy outside `crates/bench`;
+//! * **S1** — slab storage is only touched through the `slab.rs`
+//!   accessors (`pair_mut`, `push_seg_with`, row indexing);
+//! * **P1** — no `unwrap()`/`expect()`/`todo!`/`unimplemented!` in the
+//!   collective/primitive hot paths.
+//!
+//! A violation can be waived in place with
+//! `// vmplint: allow(<rule>) — <justification>` (trailing on the line,
+//! or on the line directly above); every waiver is collected into a
+//! census so growth of the waived surface is visible per PR. See
+//! DESIGN.md § Static analysis & invariants.
+
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use report::{Report, Violation, Waiver};
+use rules::{check_file, classify, RuleId, Scope};
+use scan::FileView;
+
+/// How a scan chooses files and arms rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Sweep the workspace's scanned crates with per-file scoping.
+    Workspace,
+    /// Sweep every `.rs` under the root with every rule armed (the
+    /// known-bad fixture corpus).
+    Fixtures,
+}
+
+/// Scan `root` in the given mode.
+///
+/// # Errors
+/// Propagates I/O errors from walking or reading the tree.
+pub fn run(root: &Path, mode: Mode) -> io::Result<Report> {
+    let mut files = Vec::new();
+    match mode {
+        Mode::Workspace => {
+            for sub in rules::SCANNED_CRATES {
+                collect_rs(&root.join(sub), &mut files)?;
+            }
+        }
+        Mode::Fixtures => collect_rs(root, &mut files)?,
+    }
+    files.sort();
+
+    let mut report = Report::new(root);
+    for path in files {
+        let rel = rel_path(root, &path);
+        let scope = match mode {
+            Mode::Workspace => match classify(&rel) {
+                Some(s) => s,
+                None => continue,
+            },
+            Mode::Fixtures => Scope::all(),
+        };
+        let src = fs::read_to_string(&path)?;
+        lint_one(&rel, &src, scope, &mut report);
+        report.files_scanned += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Lint a single file's source into `report` (exposed for self-tests).
+pub fn lint_one(rel: &str, src: &str, scope: Scope, report: &mut Report) {
+    let view = FileView::parse(src);
+    let waivers = parse_waivers(&view);
+
+    // Waiver hygiene first: malformed waivers are themselves findings.
+    for w in &waivers {
+        if let Some(problem) = &w.problem {
+            report.violations.push(Violation {
+                rule: RuleId::W1,
+                path: rel.to_string(),
+                line: w.comment_line + 1,
+                what: problem.clone(),
+                snippet: snippet(&view, w.comment_line),
+            });
+        }
+    }
+
+    for f in check_file(&view, scope) {
+        let waived = waivers.iter().find(|w| w.problem.is_none() && w.covers(f.line, f.rule));
+        match waived {
+            Some(w) => report.waivers.push(Waiver {
+                rule: f.rule,
+                path: rel.to_string(),
+                line: f.line + 1,
+                justification: w.justification.clone(),
+                snippet: snippet(&view, f.line),
+            }),
+            None => report.violations.push(Violation {
+                rule: f.rule,
+                path: rel.to_string(),
+                line: f.line + 1,
+                what: f.what,
+                snippet: snippet(&view, f.line),
+            }),
+        }
+    }
+}
+
+fn snippet(view: &FileView, line: usize) -> String {
+    view.raw.get(line).map(|s| s.trim().to_string()).unwrap_or_default()
+}
+
+/// A parsed waiver comment.
+#[derive(Debug)]
+struct ParsedWaiver {
+    /// Line the comment sits on (0-based).
+    comment_line: usize,
+    /// Line the waiver covers (same line for trailing comments, next
+    /// non-blank code line for standalone ones).
+    covers_line: usize,
+    rules: Vec<RuleId>,
+    justification: String,
+    /// `Some(reason)` when the waiver is malformed (W1).
+    problem: Option<String>,
+}
+
+impl ParsedWaiver {
+    fn covers(&self, line: usize, rule: RuleId) -> bool {
+        self.covers_line == line && self.rules.contains(&rule)
+    }
+}
+
+const WAIVER_TAG: &str = "vmplint:";
+
+fn parse_waivers(view: &FileView) -> Vec<ParsedWaiver> {
+    let mut out = Vec::new();
+    for line in 0..view.lines() {
+        let comment = view.comment[line].trim();
+        let Some(tag_pos) = comment.find(WAIVER_TAG) else { continue };
+        let body = comment[tag_pos + WAIVER_TAG.len()..].trim();
+
+        let mut problem = None;
+        let mut rules = Vec::new();
+        let mut justification = String::new();
+        if let Some(args) = body.strip_prefix("allow(").and_then(|r| r.split_once(')')) {
+            let (list, rest) = args;
+            for part in list.split(',') {
+                match RuleId::parse(part) {
+                    Some(r) => rules.push(r),
+                    None => {
+                        problem = Some(format!("waiver names unknown rule `{}`", part.trim()));
+                    }
+                }
+            }
+            justification = rest
+                .trim_start_matches([' ', '\t'])
+                .trim_start_matches(['—', '-', '–', ':'])
+                .trim()
+                .to_string();
+            if justification.is_empty() && problem.is_none() {
+                problem = Some("waiver has no justification".to_string());
+            }
+        } else {
+            problem =
+                Some("waiver is not of the form `vmplint: allow(<rule>) — <why>`".to_string());
+        }
+
+        // Trailing waivers cover their own line; standalone comment
+        // lines cover the next non-blank code line.
+        let covers_line = if view.code[line].trim().is_empty() {
+            (line + 1..view.lines()).find(|&l| !view.code[l].trim().is_empty()).unwrap_or(line)
+        } else {
+            line
+        };
+        out.push(ParsedWaiver { comment_line: line, covers_line, rules, justification, problem });
+    }
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::path);
+    for e in entries {
+        let path = e.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/")
+}
+
+/// Locate the workspace root: walk up from `start` looking for a
+/// `Cargo.toml` that declares `[workspace]`, falling back to the
+/// compile-time manifest location (two levels above this crate).
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> PathBuf {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return d;
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    // Compile-time fallback; a missing root is reported as an I/O error
+    // by the scan itself.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_src(src: &str) -> Report {
+        let mut r = Report::new(Path::new("."));
+        lint_one("crates/hypercube/src/collective/x.rs", src, Scope::all(), &mut r);
+        r
+    }
+
+    #[test]
+    fn trailing_waiver_suppresses_and_is_censused() {
+        let r = lint_src("let v = x.unwrap(); // vmplint: allow(p1) — length checked above\n");
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert_eq!(r.waivers.len(), 1);
+        assert_eq!(r.waivers[0].rule, RuleId::P1);
+        assert_eq!(r.waivers[0].justification, "length checked above");
+    }
+
+    #[test]
+    fn standalone_waiver_covers_next_code_line() {
+        let r = lint_src(
+            "// vmplint: allow(s1) — host-side nested Vec, not slab storage\n\
+             let (a, b) = locals.split_at_mut(k);\n",
+        );
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert_eq!(r.waivers.len(), 1);
+        assert_eq!(r.waivers[0].line, 2);
+    }
+
+    #[test]
+    fn waiver_for_the_wrong_rule_does_not_suppress() {
+        let r = lint_src("let v = x.unwrap(); // vmplint: allow(d1) — wrong rule\n");
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, RuleId::P1);
+    }
+
+    #[test]
+    fn unjustified_waiver_is_a_w1_violation() {
+        let r = lint_src("let v = x.unwrap(); // vmplint: allow(p1)\n");
+        let rules: Vec<RuleId> = r.violations.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&RuleId::W1), "{rules:?}");
+        assert!(rules.contains(&RuleId::P1), "an unjustified waiver must not suppress");
+    }
+
+    #[test]
+    fn unknown_rule_waiver_is_w1() {
+        let r = lint_src("// vmplint: allow(q9) — no such rule\nlet a = 1;\n");
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, RuleId::W1);
+    }
+
+    #[test]
+    fn workspace_root_is_found_from_nested_dirs() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")));
+        assert!(root.join("Cargo.toml").exists());
+        assert!(root.join("crates/hypercube/src/slab.rs").exists());
+    }
+}

@@ -1,0 +1,115 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run -p vmplint                       # sweep the workspace
+//! cargo run -p vmplint -- --list             # describe each rule
+//! cargo run -p vmplint -- --json PATH        # also write the JSON report
+//! cargo run -p vmplint -- --fixtures [DIR]   # sweep a known-bad corpus
+//! cargo run -p vmplint -- --root PATH        # sweep another checkout
+//! ```
+//!
+//! Exit codes follow the `reproduce` convention: **0** clean, **2** on
+//! violations or bad usage, **1** on I/O failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vmplint::rules::RuleId;
+use vmplint::{find_workspace_root, run, Mode};
+
+fn usage() -> String {
+    "usage: vmplint [--list] [--json PATH] [--root PATH] [--fixtures [DIR]] [--quiet]\n\
+     sweeps crates/{hypercube,vmp,layout,algos} for determinism (d1/d2),\n\
+     slab-aliasing (s1) and panic-surface (p1) violations; exits 0 when\n\
+     clean, 2 on violations, 1 on I/O errors"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut fixtures = false;
+    let mut fixtures_dir: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut it = args.into_iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--list" => {
+                println!("vmplint rules (waive with `// vmplint: allow(<rule>) — <why>`):");
+                for rule in RuleId::ALL {
+                    println!("{:4} {}", rule.id(), rule.describe());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("--json requires a path\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--fixtures" => {
+                fixtures = true;
+                if let Some(next) = it.peek() {
+                    if !next.starts_with('-') {
+                        fixtures_dir = Some(PathBuf::from(it.next().expect("peeked")));
+                    }
+                }
+            }
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let (scan_root, mode) = if fixtures {
+        let dir = fixtures_dir
+            .unwrap_or_else(|| find_workspace_root(&cwd).join("crates/vmplint/fixtures"));
+        (dir, Mode::Fixtures)
+    } else {
+        (root.unwrap_or_else(|| find_workspace_root(&cwd)), Mode::Workspace)
+    };
+
+    let report = match run(&scan_root, mode) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vmplint: cannot scan {}: {e}", scan_root.display());
+            return ExitCode::from(1);
+        }
+    };
+
+    if !quiet {
+        print!("{}", report.render());
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("vmplint: cannot write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        if !quiet {
+            println!("wrote {path}");
+        }
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

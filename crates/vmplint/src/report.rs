@@ -1,0 +1,185 @@
+//! Report model, human rendering and JSON serialisation.
+//!
+//! The JSON writer is hand-rolled: the workspace's offline `serde_json`
+//! stand-in emits a debug rendering rather than strict JSON, and the CI
+//! waiver-census artifact should be parseable by real tooling.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::rules::RuleId;
+
+/// One rule violation (fails the run).
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: RuleId,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// What fired.
+    pub what: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// One waived finding (reported in the census, does not fail the run).
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    pub rule: RuleId,
+    pub path: String,
+    pub line: usize,
+    pub justification: String,
+    pub snippet: String,
+}
+
+/// The outcome of one scan.
+#[derive(Debug)]
+pub struct Report {
+    pub root: String,
+    pub files_scanned: usize,
+    pub violations: Vec<Violation>,
+    pub waivers: Vec<Waiver>,
+}
+
+impl Report {
+    /// An empty report over `root`.
+    #[must_use]
+    pub fn new(root: &Path) -> Self {
+        Report {
+            root: root.to_string_lossy().into_owned(),
+            files_scanned: 0,
+            violations: Vec::new(),
+            waivers: Vec::new(),
+        }
+    }
+
+    /// Deterministic ordering: path, then line, then rule.
+    pub fn sort(&mut self) {
+        self.violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        self.waivers.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    }
+
+    /// `true` when the scan found no violations.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violations of one rule.
+    #[must_use]
+    pub fn count(&self, rule: RuleId) -> usize {
+        self.violations.iter().filter(|v| v.rule == rule).count()
+    }
+
+    /// Human-readable rendering (what the CLI prints).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(
+                out,
+                "{}:{}: [{}] {}\n    {}",
+                v.path,
+                v.line,
+                v.rule.id(),
+                v.what,
+                v.snippet
+            );
+        }
+        let _ = writeln!(
+            out,
+            "vmplint: {} files, {} violations, {} waivers",
+            self.files_scanned,
+            self.violations.len(),
+            self.waivers.len()
+        );
+        if !self.waivers.is_empty() {
+            let _ = writeln!(out, "waiver census:");
+            for w in &self.waivers {
+                let _ =
+                    writeln!(out, "  {}:{}: [{}] {}", w.path, w.line, w.rule.id(), w.justification);
+            }
+        }
+        out
+    }
+
+    /// Strict-JSON rendering (the CI artifact).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"root\": {},", json_str(&self.root));
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"violation_count\": {},", self.violations.len());
+        let _ = writeln!(out, "  \"waiver_count\": {},", self.waivers.len());
+        out.push_str("  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"what\": {}, \"snippet\": {}}}",
+                json_str(v.rule.id()),
+                json_str(&v.path),
+                v.line,
+                json_str(&v.what),
+                json_str(&v.snippet)
+            );
+            out.push_str(if i + 1 < self.violations.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n  \"waivers\": [\n");
+        for (i, w) in self.waivers.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"justification\": {}, \"snippet\": {}}}",
+                json_str(w.rule.id()),
+                json_str(&w.path),
+                w.line,
+                json_str(&w.justification),
+                json_str(&w.snippet)
+            );
+            out.push_str(if i + 1 < self.waivers.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Escape a string as a JSON literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_for_tricky_strings() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_report_renders_and_serialises() {
+        let r = Report::new(Path::new("/tmp/x"));
+        assert!(r.clean());
+        assert!(r.render().contains("0 violations"));
+        let j = r.to_json();
+        assert!(j.contains("\"violations\": [\n  ]"));
+        assert!(j.ends_with("}\n"));
+    }
+}

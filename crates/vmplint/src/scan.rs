@@ -1,0 +1,351 @@
+//! A minimal lexical view of a Rust source file.
+//!
+//! The build container has no route to crates.io, so this pass cannot
+//! lean on `syn`; instead it derives everything the rules need from a
+//! small hand-rolled scan that is exact about the only three things
+//! that matter for pattern soundness:
+//!
+//! * **comments vs code** — `//` line comments and (nested) `/* */`
+//!   block comments are split out per line, so rule patterns never
+//!   match prose and waiver comments are parsed from the comment
+//!   channel only;
+//! * **string/char literals** — contents are blanked from the code
+//!   channel, so a doc example or an `expect("…unwrap()…")` message
+//!   cannot trigger a rule;
+//! * **`#[cfg(test)]` spans** — the brace span of every item annotated
+//!   `#[cfg(test)]` is marked, so test-only code is exempt from the
+//!   production-invariant rules.
+
+/// Per-line lexical channels of one source file.
+#[derive(Debug, Default)]
+pub struct FileView {
+    /// The raw line, as written (for diagnostics).
+    pub raw: Vec<String>,
+    /// Code channel: comments stripped, literal contents blanked.
+    pub code: Vec<String>,
+    /// Comment channel: the text of any comment on the line.
+    pub comment: Vec<String>,
+    /// `true` for lines inside a `#[cfg(test)]` item's brace span.
+    pub is_test: Vec<bool>,
+}
+
+impl FileView {
+    /// Lex `src` into per-line code/comment channels.
+    #[must_use]
+    pub fn parse(src: &str) -> Self {
+        let mut view = lex(src);
+        mark_cfg_test_spans(&mut view);
+        view
+    }
+
+    /// Number of lines.
+    #[must_use]
+    pub fn lines(&self) -> usize {
+        self.raw.len()
+    }
+}
+
+/// Lexer state: what the current character is inside of.
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth (Rust block comments nest).
+    BlockComment(u32),
+    /// Inside `"…"`; tracks a pending backslash escape.
+    Str {
+        escaped: bool,
+    },
+    /// Inside `r##"…"##` with the given hash count.
+    RawStr {
+        hashes: usize,
+    },
+}
+
+fn lex(src: &str) -> FileView {
+    let chars: Vec<char> = src.chars().collect();
+    let mut view = FileView::default();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    macro_rules! flush_line {
+        () => {{
+            view.code.push(std::mem::take(&mut code));
+            view.comment.push(std::mem::take(&mut comment));
+        }};
+    }
+
+    // Collect raw lines up front (the lexer below only appends to the
+    // code/comment channels).
+    for line in src.split('\n') {
+        view.raw.push(line.to_string());
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            flush_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Str { escaped: false };
+                    i += 1;
+                } else if let Some(hashes) = raw_string_open(&chars, i) {
+                    // `r"`, `r#"`, `br##"` … — blank the contents.
+                    code.push('"');
+                    state = State::RawStr { hashes };
+                    // Skip past the prefix and the opening quote.
+                    while chars[i] != '"' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if c == '\'' {
+                    if let Some(end) = char_literal_end(&chars, i) {
+                        code.push('\'');
+                        code.push('\'');
+                        i = end + 1;
+                    } else {
+                        // A lifetime tick.
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str { escaped } => {
+                if escaped {
+                    state = State::Str { escaped: false };
+                } else if c == '\\' {
+                    state = State::Str { escaped: true };
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Code;
+                }
+                i += 1;
+            }
+            State::RawStr { hashes } => {
+                if c == '"' && closes_raw_string(&chars, i, hashes) {
+                    code.push('"');
+                    i += 1 + hashes;
+                    state = State::Code;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    flush_line!();
+    // `split('\n')` yields one more entry than trailing-newline flushes.
+    while view.code.len() < view.raw.len() {
+        view.code.push(String::new());
+        view.comment.push(String::new());
+    }
+    view.code.truncate(view.raw.len());
+    view.comment.truncate(view.raw.len());
+    view.is_test = vec![false; view.raw.len()];
+    view
+}
+
+/// Is `chars[i..]` the start of a raw-string literal (`r"`, `r#"` …,
+/// optionally `b`-prefixed)? Returns the hash count.
+fn raw_string_open(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    // An identifier character before the prefix means this `r` is just
+    // part of a name (e.g. `var"` cannot occur, but `for r in …` could
+    // put a bare `r` before something else).
+    if i > 0 && is_ident_char(chars[i - 1]) {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// Does the `"` at `i` close a raw string opened with `hashes` hashes?
+fn closes_raw_string(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// If `chars[i] == '\''` starts a char literal, the index of its closing
+/// quote; `None` if it is a lifetime tick.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1) {
+        Some('\\') => {
+            // Escape: scan to the closing quote.
+            let mut j = i + 2;
+            while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                j += 1;
+            }
+            (chars.get(j) == Some(&'\'')).then_some(j)
+        }
+        Some(_) if chars.get(i + 2) == Some(&'\'') => Some(i + 2),
+        _ => None,
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Mark the brace spans of `#[cfg(test)]` items in `view.is_test`.
+///
+/// The attribute in this workspace always sits directly on a `mod` (the
+/// universal unit-test idiom), so span detection is: from the attribute
+/// line, find the next `{` in the code channel and match braces.
+fn mark_cfg_test_spans(view: &mut FileView) {
+    let n = view.lines();
+    let mut line = 0usize;
+    while line < n {
+        if view.code[line].contains("#[cfg(test)]") || view.code[line].contains("#[cfg(all(test") {
+            if let Some((start, end)) = brace_span(view, line) {
+                for l in view.is_test.iter_mut().take(end + 1).skip(start) {
+                    *l = true;
+                }
+                line = end + 1;
+                continue;
+            }
+        }
+        line += 1;
+    }
+}
+
+/// The `(first_line, last_line)` of the brace block opened at or after
+/// `from` in the code channel.
+fn brace_span(view: &FileView, from: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i64;
+    let mut opened = false;
+    for line in from..view.lines() {
+        for c in view.code[line].chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+            if opened && depth == 0 {
+                return Some((from, line));
+            }
+        }
+    }
+    None
+}
+
+/// Does `code` contain `pattern` at an identifier boundary (so `HashMap`
+/// does not match `MyHashMapLike`)? Patterns may themselves contain
+/// punctuation (`Instant::now`, `.unwrap()`); boundaries are only
+/// checked where the pattern edge is an identifier character.
+#[must_use]
+pub fn has_token(code: &str, pattern: &str) -> bool {
+    let mut start = 0usize;
+    while let Some(pos) = code[start..].find(pattern) {
+        let at = start + pos;
+        let before_ok = !pattern.starts_with(|c: char| is_ident_char(c))
+            || code[..at].chars().next_back().is_none_or(|c| !is_ident_char(c));
+        let after = at + pattern.len();
+        let after_ok = !pattern.ends_with(|c: char| is_ident_char(c))
+            || code[after..].chars().next().is_none_or(|c| !is_ident_char(c));
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_leave_the_code_channel() {
+        let v = FileView::parse(
+            "let a = \"HashMap inside a string\"; // HashMap in a comment\n\
+             let b = 1; /* block HashMap */ let c = 2;\n",
+        );
+        assert!(!v.code[0].contains("HashMap"));
+        assert!(v.comment[0].contains("HashMap"));
+        assert!(!v.code[1].contains("HashMap"));
+        assert!(v.code[1].contains("let c = 2;"));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_blanked() {
+        let v = FileView::parse("let s = r#\"un\"wrap()\"#; let c = '\\''; let l: &'static str;\n");
+        assert!(!v.code[0].contains("wrap"));
+        assert!(v.code[0].contains("'static"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let v = FileView::parse("/* outer /* inner */ still comment */ let x = 1;\n");
+        assert!(v.code[0].contains("let x = 1;"));
+        assert!(!v.code[0].contains("still"));
+    }
+
+    #[test]
+    fn cfg_test_span_is_marked() {
+        let src = "fn hot() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let v = FileView::parse(src);
+        assert!(!v.is_test[0]);
+        assert!(v.is_test[1] || v.is_test[2], "attribute/mod lines are in the span");
+        assert!(v.is_test[3]);
+        assert!(v.is_test[4]);
+        assert!(!v.is_test[5]);
+    }
+
+    #[test]
+    fn token_boundaries_are_respected() {
+        assert!(has_token("use std::collections::HashMap;", "HashMap"));
+        assert!(!has_token("struct MyHashMapLike;", "HashMap"));
+        assert!(has_token("let t = Instant::now();", "Instant::now"));
+        assert!(!has_token("let t = MyInstant::nowish();", "Instant::now"));
+        assert!(has_token("v.unwrap()", ".unwrap()"));
+        assert!(!has_token("v.unwrap_or(0)", ".unwrap()"));
+    }
+}

@@ -1,0 +1,141 @@
+//! The linter's own regression suite: every rule must fire on its
+//! fixture, the waiver machinery must suppress exactly what it claims
+//! to, the live workspace must be clean, and the binary must keep the
+//! `reproduce`-style exit-code conventions (0 clean / 2 violations).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use vmplint::report::Report;
+use vmplint::rules::RuleId;
+use vmplint::{find_workspace_root, run, Mode};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn fixture_report() -> Report {
+    run(&fixtures_dir(), Mode::Fixtures).expect("fixture corpus readable")
+}
+
+fn of_file<'r>(r: &'r Report, file: &str) -> Vec<&'r vmplint::report::Violation> {
+    r.violations.iter().filter(|v| v.path == file).collect()
+}
+
+#[test]
+fn every_rule_fires_on_the_fixture_corpus() {
+    let r = fixture_report();
+    assert!(r.count(RuleId::D1) >= 1, "D1 never fired: {:#?}", r.violations);
+    assert!(r.count(RuleId::D2) >= 1, "D2 never fired: {:#?}", r.violations);
+    assert!(r.count(RuleId::S1) >= 1, "S1 never fired: {:#?}", r.violations);
+    assert!(r.count(RuleId::P1) >= 1, "P1 never fired: {:#?}", r.violations);
+    assert!(r.count(RuleId::W1) >= 1, "W1 never fired: {:#?}", r.violations);
+    assert!(!r.clean());
+}
+
+#[test]
+fn fixture_findings_are_exactly_as_documented() {
+    let r = fixture_report();
+
+    let d1 = of_file(&r, "d1_hash_collections.rs");
+    assert_eq!(d1.len(), 5, "{d1:#?}");
+    assert!(d1.iter().all(|v| v.rule == RuleId::D1));
+
+    let d2 = of_file(&r, "d2_host_entropy.rs");
+    assert_eq!(d2.len(), 4, "{d2:#?}");
+    assert!(d2.iter().all(|v| v.rule == RuleId::D2));
+
+    let s1 = of_file(&r, "s1_slab_aliasing.rs");
+    assert_eq!(s1.len(), 3, "{s1:#?}");
+    assert!(s1.iter().all(|v| v.rule == RuleId::S1));
+
+    let p1 = of_file(&r, "p1_panic_surface.rs");
+    assert_eq!(p1.len(), 3, "{p1:#?}");
+    assert!(p1.iter().all(|v| v.rule == RuleId::P1));
+
+    // Unjustified / unknown-rule waivers: W1 twice, plus the P1 the
+    // malformed waiver fails to suppress.
+    let bad = of_file(&r, "bad_waiver.rs");
+    assert_eq!(bad.iter().filter(|v| v.rule == RuleId::W1).count(), 2, "{bad:#?}");
+    assert_eq!(bad.iter().filter(|v| v.rule == RuleId::P1).count(), 1, "{bad:#?}");
+
+    // Clean fixtures contribute nothing.
+    assert!(of_file(&r, "waived_ok.rs").is_empty());
+    assert!(of_file(&r, "test_gated_ok.rs").is_empty());
+}
+
+#[test]
+fn waived_fixture_lands_in_the_census_with_its_justification() {
+    let r = fixture_report();
+    let waivers: Vec<_> = r.waivers.iter().filter(|w| w.path == "waived_ok.rs").collect();
+    assert_eq!(waivers.len(), 2, "{waivers:#?}");
+    assert!(waivers
+        .iter()
+        .any(|w| w.rule == RuleId::P1 && w.justification.contains("asserted non-empty")));
+    assert!(waivers
+        .iter()
+        .any(|w| w.rule == RuleId::S1 && w.justification.contains("host-side scratch Vec")));
+}
+
+#[test]
+fn live_workspace_is_clean_and_every_waiver_is_justified() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")));
+    let r = run(&root, Mode::Workspace).expect("workspace readable");
+    assert!(r.clean(), "the workspace must lint clean; fix or waive:\n{}", r.render());
+    assert!(r.files_scanned > 40, "sweep looks truncated: {} files", r.files_scanned);
+    for w in &r.waivers {
+        assert!(!w.justification.is_empty(), "{}:{} has an empty justification", w.path, w.line);
+    }
+    // The swept crates carry real waivers today (seed-reference bodies,
+    // protocol-invariant expects); losing them all silently would mean
+    // the sweep stopped seeing the files.
+    assert!(!r.waivers.is_empty(), "expected a non-empty waiver census");
+}
+
+#[test]
+fn binary_exit_codes_follow_the_reproduce_convention() {
+    // Clean workspace → 0.
+    let ok =
+        Command::new(env!("CARGO_BIN_EXE_vmplint")).arg("--quiet").output().expect("binary runs");
+    assert_eq!(ok.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&ok.stderr));
+
+    // Bad-fixture corpus → 2.
+    let bad = Command::new(env!("CARGO_BIN_EXE_vmplint"))
+        .args(["--fixtures", fixtures_dir().to_str().expect("utf-8 path"), "--quiet"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(bad.status.code(), Some(2));
+
+    // Bad usage → 2, with usage text.
+    let usage = Command::new(env!("CARGO_BIN_EXE_vmplint"))
+        .arg("--no-such-flag")
+        .output()
+        .expect("binary runs");
+    assert_eq!(usage.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&usage.stderr).contains("usage:"));
+
+    // --list → 0 and documents every rule id.
+    let list =
+        Command::new(env!("CARGO_BIN_EXE_vmplint")).arg("--list").output().expect("binary runs");
+    assert_eq!(list.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&list.stdout);
+    for rule in RuleId::ALL {
+        assert!(text.contains(rule.id()), "--list must describe {}", rule.id());
+    }
+}
+
+#[test]
+fn json_report_is_written_and_carries_the_census() {
+    let out = std::env::temp_dir().join("vmplint_selftest_report.json");
+    let _ = std::fs::remove_file(&out);
+    let status = Command::new(env!("CARGO_BIN_EXE_vmplint"))
+        .args(["--quiet", "--json", out.to_str().expect("utf-8 path")])
+        .status()
+        .expect("binary runs");
+    assert_eq!(status.code(), Some(0));
+    let json = std::fs::read_to_string(&out).expect("report written");
+    assert!(json.contains("\"waivers\""));
+    assert!(json.contains("\"violation_count\": 0"));
+    assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    let _ = std::fs::remove_file(&out);
+}

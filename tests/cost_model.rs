@@ -2,6 +2,11 @@
 //! monotone in problem size, never cheaper than its lower bound, and the
 //! naive baseline must never win.
 
+// Proptest sweeps are far too slow under Miri's interpreter; the
+// dedicated Miri CI job covers the library's unsafe/aliasing surface
+// via the unit tests instead (see .github/workflows/ci.yml).
+#![cfg(not(miri))]
+
 use four_vmp::algos::workloads;
 use four_vmp::core::analysis;
 use four_vmp::core::elem::Sum;

@@ -4,6 +4,11 @@
 //! Integer element types make the algebraic identities exact (no float
 //! tolerance hides a transposed index).
 
+// Proptest sweeps are far too slow under Miri's interpreter; the
+// dedicated Miri CI job covers the library's unsafe/aliasing surface
+// via the unit tests instead (see .github/workflows/ci.yml).
+#![cfg(not(miri))]
+
 use proptest::prelude::*;
 
 use four_vmp::algos::{simplex, workloads};

@@ -1,0 +1,63 @@
+//! Offline stand-in for the subset of [`loom`] this workspace uses.
+//!
+//! Upstream loom exhaustively explores thread interleavings under the
+//! C11 memory model. This stand-in cannot do that without the real
+//! scheduler, so it approximates: [`model`] re-runs the closure many
+//! times on real OS threads, with the iteration count raised under
+//! `--cfg loom` (the dedicated CI job) so scheduling noise gets many
+//! chances to surface an ordering bug. The `thread`/`sync` modules
+//! re-export the `std` equivalents, which keeps test sources identical
+//! to what they would be against upstream loom — restoring the registry
+//! crate requires no source change outside `vendor/`.
+//!
+//! [`loom`]: https://docs.rs/loom
+
+/// How many times [`model`] re-runs its closure: enough repetition for
+/// OS scheduling jitter to explore distinct orderings, without making
+/// plain `cargo test` noticeably slower. The dedicated CI job compiles
+/// with `--cfg loom` for a deeper sweep.
+#[cfg(loom)]
+pub const MODEL_ITERATIONS: usize = 256;
+#[cfg(not(loom))]
+pub const MODEL_ITERATIONS: usize = 8;
+
+/// Run `f` repeatedly, as upstream `loom::model` runs it once per
+/// explored interleaving. Panics propagate, failing the enclosing test.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for _ in 0..MODEL_ITERATIONS {
+        f();
+    }
+}
+
+/// `std::thread` subset (upstream loom shadows it with a modelled one).
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// `std::sync` subset (upstream loom shadows these with modelled ones).
+pub mod sync {
+    pub use std::sync::{Arc, Mutex};
+
+    pub mod atomic {
+        pub use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_the_configured_iteration_count() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        super::model(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), super::MODEL_ITERATIONS);
+    }
+}
