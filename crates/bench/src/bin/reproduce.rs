@@ -7,7 +7,11 @@
 //! cargo run --release -p vmp-bench --bin reproduce -- --list  # what exists
 //! cargo run --release -p vmp-bench --bin reproduce -- --json out.json
 //! cargo run --release -p vmp-bench --bin reproduce -- wallclock --smoke
+//! cargo run --release -p vmp-bench --bin reproduce -- sched --smoke
 //! ```
+//!
+//! Exit codes: 0 on success, 2 for unknown flags/ids or bad usage, 1
+//! for I/O failures while writing `--json` output.
 
 use std::io::Write;
 
@@ -19,7 +23,7 @@ fn usage() -> String {
         "usage: reproduce [--list] [--smoke] [--json PATH] [ID ...]\n\
          known experiment ids: {}\n\
          run with no ids to reproduce everything; --list describes each id;\n\
-         --smoke shrinks the wallclock experiment to CI-sized inputs",
+         --smoke shrinks the wallclock and sched experiments to CI-sized inputs",
         ALL_IDS.join(" ")
     )
 }

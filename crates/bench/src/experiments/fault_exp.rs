@@ -12,6 +12,7 @@
 use vmp_algos::{ge_solve, workloads};
 use vmp_core::degrade::apply_degradation;
 use vmp_core::prelude::*;
+use vmp_hypercube::counters::Counters;
 use vmp_hypercube::{FaultPlan, ResilientConfig};
 
 use crate::common::{cm2, square_grid};
@@ -64,9 +65,7 @@ pub fn r1() -> Table {
             let resident: Vec<usize> = (0..hc.p()).map(|n| layout.local_len(n)).collect();
             let _ = apply_degradation(&mut hc, &dead, &resident);
         }
-        let before = hc.counters().snapshot();
-        let x = solve(&mut hc);
-        let delta = hc.counters().since(&before);
+        let (x, delta) = Counters::scoped(&mut hc, solve);
         t.row(vec![
             label.to_string(),
             fmt_us(hc.elapsed_us()),

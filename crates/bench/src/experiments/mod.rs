@@ -8,6 +8,7 @@ pub mod fault_exp;
 pub mod naive_exp;
 pub mod optimality_exp;
 pub mod primitives_exp;
+pub mod sched_exp;
 pub mod spanning_exp;
 pub mod wallclock_exp;
 
@@ -15,8 +16,9 @@ use crate::table::Table;
 
 /// All experiment ids in presentation order (T/F reproduce the paper's
 /// evaluation; X are this library's extensions; R are robustness;
-/// `wallclock` measures the simulator's own host time).
-pub const ALL_IDS: [&str; 17] = [
+/// `sched` is the multi-tenant scheduler study; `wallclock` measures
+/// the simulator's own host time).
+pub const ALL_IDS: [&str; 18] = [
     "t1",
     "t2",
     "t3",
@@ -33,12 +35,13 @@ pub const ALL_IDS: [&str; 17] = [
     "x5",
     "x6",
     "r1",
+    "sched",
     "wallclock",
 ];
 
 /// `(id, one-line description)` for every experiment, in [`ALL_IDS`]
 /// order — what `reproduce --list` prints.
-pub const DESCRIPTIONS: [(&str, &str); 17] = [
+pub const DESCRIPTIONS: [(&str, &str); 18] = [
     ("t1", "primitive timings vs matrix size (p = 1024, CM-2 model)"),
     ("t2", "primitive timings vs machine size (n = 1024, CM-2 model)"),
     ("t3", "naive (general router) vs primitives, application kernels (p = 256)"),
@@ -56,6 +59,10 @@ pub const DESCRIPTIONS: [(&str, &str); 17] = [
     ("x6", "histogram: dense vs sparse all-to-all reduction (p = 256, B = 1024)"),
     ("r1", "fault-sweep: elimination under drops, dead links and degradation (p = 16)"),
     (
+        "sched",
+        "multi-tenant subcube scheduler vs whole-machine FCFS (p = 1024, + BENCH_sched.json)",
+    ),
+    (
         "wallclock",
         "host wall-clock: slab data plane vs seed nested-Vec path (+ BENCH_wallclock.json)",
     ),
@@ -67,9 +74,9 @@ pub fn run(id: &str) -> Option<Table> {
     run_opts(id, false)
 }
 
-/// As [`run`], with knobs: `smoke` shrinks the wall-clock experiment to
-/// CI-sized inputs (ignored by the simulated-time experiments, whose
-/// sizes are part of what they reproduce).
+/// As [`run`], with knobs: `smoke` shrinks the wall-clock and scheduler
+/// experiments to CI-sized inputs (ignored by the other simulated-time
+/// experiments, whose sizes are part of what they reproduce).
 #[must_use]
 pub fn run_opts(id: &str, smoke: bool) -> Option<Table> {
     match id.to_ascii_lowercase().as_str() {
@@ -89,6 +96,7 @@ pub fn run_opts(id: &str, smoke: bool) -> Option<Table> {
         "x5" => Some(extensions_exp::x5()),
         "x6" => Some(extensions_exp::x6()),
         "r1" => Some(fault_exp::r1()),
+        "sched" => Some(sched_exp::sched(smoke)),
         "wallclock" => Some(wallclock_exp::wallclock(smoke)),
         _ => None,
     }
@@ -127,6 +135,7 @@ mod tests {
                         | "x5"
                         | "x6"
                         | "r1"
+                        | "sched"
                         | "wallclock"
                 ),
                 "{id} should be dispatchable"

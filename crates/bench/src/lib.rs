@@ -12,6 +12,7 @@
 //! | T5 | embedding-change costs |
 //! | F1/F2 | the `m > p lg p` optimality claims as curves |
 //! | F4 | spanning-tree collective schedule ablation |
+//! | SCHED | multi-tenant subcube scheduler vs whole-machine FCFS (`BENCH_sched.json`) |
 //!
 //! Run everything with `cargo run --release -p vmp-bench --bin reproduce`,
 //! or a subset with e.g. `-- t1 f4`. Criterion wall-clock benches of the

@@ -57,6 +57,21 @@ impl Counters {
         *self
     }
 
+    /// Run `f` on the machine and return its result together with the
+    /// counter deltas the run produced — the snapshot/since bracket as
+    /// one call, so callers cannot pair a snapshot with the wrong
+    /// machine or forget the diff. This is how the multi-tenant
+    /// scheduler scopes counters per job.
+    pub fn scoped<R>(
+        hc: &mut crate::machine::Hypercube,
+        f: impl FnOnce(&mut crate::machine::Hypercube) -> R,
+    ) -> (R, Counters) {
+        let before = hc.counters().snapshot();
+        let result = f(hc);
+        let delta = hc.counters().since(&before);
+        (result, delta)
+    }
+
     /// Difference `self - earlier`, for bracketing a measured region.
     /// Saturates instead of panicking if `earlier` is not actually
     /// earlier (e.g. snapshots taken across a [`Counters::reset`]).
@@ -112,6 +127,24 @@ mod tests {
             Counters { message_steps: 3, router_cycles: 9, retries: 4, ..Default::default() };
         c.reset();
         assert_eq!(c, Counters::default());
+    }
+
+    #[test]
+    fn scoped_brackets_a_measured_region() {
+        use crate::cost::CostModel;
+        use crate::machine::Hypercube;
+        let mut hc = Hypercube::new(3, CostModel::unit());
+        hc.charge_message_step(4, 8); // pre-existing activity outside the scope
+        let (value, delta) = Counters::scoped(&mut hc, |hc| {
+            hc.charge_message_step(2, 2);
+            hc.charge_flops(5);
+            42usize
+        });
+        assert_eq!(value, 42);
+        assert_eq!(delta.message_steps, 1, "only the scoped superstep is counted");
+        assert_eq!(delta.elements_transferred, 2);
+        assert_eq!(delta.flops, 5);
+        assert_eq!(hc.counters().message_steps, 2, "the live tallies keep everything");
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! Buddy allocation of subcubes, with dead-node quarantine.
+//!
+//! The classic buddy discipline over cube orders: the free pool holds
+//! aligned [`Subcube`]s; an allocation of order `k` takes the
+//! lowest-based free block of the smallest sufficient order and splits
+//! it down to size (low half kept, high half returned to the pool);
+//! a free re-inserts the block and greedily merges buddy pairs back
+//! up. Everything is plain sorted `Vec`s — the allocator is a pure
+//! function of its call sequence, which the proptest suite exploits to
+//! check determinism.
+//!
+//! **Fault integration.** A node reported dead is *quarantined*: the
+//! order-0 leaf holding it is withdrawn from the pool forever, so no
+//! later allocation can contain it and — because coalescing requires
+//! both halves free — none of its enclosing blocks can re-form. The
+//! allocatable pool shrinks by exactly the dead leaves. When the
+//! healthy pool can no longer ever satisfy an order (every aligned
+//! block of that size has a casualty), [`BuddyAllocator::allocate_degraded`]
+//! can hand out a block *around* one dead node; the scheduler then runs
+//! the job under the layout layer's graceful degradation, which keeps
+//! results bit-identical at reduced speed.
+
+use crate::subcube::Subcube;
+use vmp_hypercube::topology::NodeId;
+
+/// What a dead-node report hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadImpact {
+    /// The node was in the free pool; the pool shrank by one leaf.
+    Free,
+    /// The node was inside the returned allocated subcube; the caller
+    /// owns the consequences (abort/re-plan the tenant job).
+    Allocated(Subcube),
+    /// Already quarantined — nothing changed.
+    AlreadyDead,
+}
+
+/// Buddy subcube allocator over a `2^dim`-node cube.
+#[derive(Debug, Clone)]
+pub struct BuddyAllocator {
+    dim: u32,
+    /// `free[k]` = sorted bases of free order-`k` blocks.
+    free: Vec<Vec<NodeId>>,
+    /// Sorted quarantined dead nodes.
+    dead: Vec<NodeId>,
+    /// Outstanding allocations, sorted by base.
+    allocated: Vec<Subcube>,
+}
+
+impl BuddyAllocator {
+    /// A fresh allocator owning the whole `dim`-cube as one free block.
+    #[must_use]
+    pub fn new(dim: u32) -> Self {
+        let mut free = vec![Vec::new(); dim as usize + 1];
+        free[dim as usize].push(0);
+        BuddyAllocator { dim, free, dead: Vec::new(), allocated: Vec::new() }
+    }
+
+    /// Machine dimension `d`.
+    #[must_use]
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Total nodes `p = 2^d`.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        1usize << self.dim
+    }
+
+    /// Quarantined dead nodes, sorted.
+    #[must_use]
+    pub fn dead(&self) -> &[NodeId] {
+        &self.dead
+    }
+
+    /// Outstanding allocations, sorted by base.
+    #[must_use]
+    pub fn live(&self) -> &[Subcube] {
+        &self.allocated
+    }
+
+    /// Nodes currently available for healthy allocation.
+    #[must_use]
+    pub fn free_nodes(&self) -> usize {
+        self.free.iter().enumerate().map(|(k, v)| v.len() << k).sum()
+    }
+
+    /// Is `node` quarantined?
+    #[must_use]
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.dead.binary_search(&node).is_ok()
+    }
+
+    /// Allocate a healthy subcube of `order` free dimensions, lowest
+    /// base first. `None` when no (current) healthy block fits.
+    pub fn allocate(&mut self, order: u32) -> Option<Subcube> {
+        if order > self.dim {
+            return None;
+        }
+        // Smallest sufficient order with a free block.
+        let from = (order..=self.dim).find(|&k| !self.free[k as usize].is_empty())?;
+        let base = self.free[from as usize].remove(0);
+        let mut block = Subcube::new(base, from);
+        // Split down, keeping the low half, pooling the high half.
+        while block.order() > order {
+            let (lo, hi) = block.halves();
+            self.insert_free(hi);
+            block = lo;
+        }
+        let at = self.allocated.partition_point(|s| s.base() < block.base());
+        self.allocated.insert(at, block);
+        Some(block)
+    }
+
+    /// Allocate a block of `order` free dimensions containing exactly
+    /// one quarantined node (for degraded execution), when its healthy
+    /// remainder is entirely free. Lowest base first. `None` when no
+    /// such block exists right now.
+    ///
+    /// The returned node is the dead node's *logical* (in-subcube)
+    /// address, ready for the layout layer's single-hop concentration.
+    pub fn allocate_degraded(&mut self, order: u32) -> Option<(Subcube, NodeId)> {
+        if order > self.dim {
+            return None;
+        }
+        let len = 1usize << order;
+        let mut base = 0usize;
+        while base < self.p() {
+            let block = Subcube::new(base, order);
+            let dead_inside: Vec<NodeId> =
+                self.dead.iter().copied().filter(|&n| block.contains(n)).collect();
+            if dead_inside.len() == 1 && self.claim_free_within(block) {
+                let at = self.allocated.partition_point(|s| s.base() < block.base());
+                self.allocated.insert(at, block);
+                return Some((block, block.local(dead_inside[0])));
+            }
+            base += len;
+        }
+        None
+    }
+
+    /// Could a healthy block of `order` ever be allocated once all
+    /// tenants leave — i.e. does some aligned order-`order` block
+    /// contain no dead node? Drives the degraded-fallback decision.
+    #[must_use]
+    pub fn can_ever_allocate(&self, order: u32) -> bool {
+        if order > self.dim {
+            return false;
+        }
+        let len = 1usize << order;
+        (0..self.p())
+            .step_by(len)
+            .any(|base| !self.dead.iter().any(|&n| Subcube::new(base, order).contains(n)))
+    }
+
+    /// Return `sub` to the pool, coalescing buddies. Leaves holding
+    /// quarantined nodes are withdrawn instead of pooled, so a block
+    /// freed after a mid-tenancy casualty automatically sheds exactly
+    /// its dead leaves.
+    ///
+    /// # Panics
+    /// Panics if `sub` is not an outstanding allocation.
+    pub fn release(&mut self, sub: Subcube) {
+        let Ok(at) = self.allocated.binary_search_by(|s| s.base().cmp(&sub.base())) else {
+            panic!("release of {sub:?} which is not allocated");
+        };
+        assert!(self.allocated[at] == sub, "release of {sub:?} does not match allocation");
+        self.allocated.remove(at);
+        self.pool_healthy(sub);
+    }
+
+    /// Quarantine `node`. See [`DeadImpact`] for what was hit.
+    pub fn mark_dead(&mut self, node: NodeId) -> DeadImpact {
+        assert!(node < self.p(), "dead node {node} out of range");
+        if self.is_dead(node) {
+            return DeadImpact::AlreadyDead;
+        }
+        let at = self.dead.partition_point(|&n| n < node);
+        self.dead.insert(at, node);
+        if let Some(sub) = self.allocation_containing(node) {
+            // The tenant's block stays allocated until the scheduler
+            // aborts the job and releases it; release() then drops the
+            // newly-dead leaf.
+            return DeadImpact::Allocated(sub);
+        }
+        // The node is in some free block: withdraw it and re-pool the
+        // healthy remainder (split around the new dead leaf).
+        if let Some(block) = self.take_free_containing(node) {
+            self.pool_healthy(block);
+        }
+        DeadImpact::Free
+    }
+
+    /// The outstanding allocation containing `node`, if any.
+    #[must_use]
+    pub fn allocation_containing(&self, node: NodeId) -> Option<Subcube> {
+        let at = self.allocated.partition_point(|s| s.base() <= node);
+        at.checked_sub(1).map(|i| self.allocated[i]).filter(|s| s.contains(node))
+    }
+
+    /// Every node is exactly one of: free, dead, or inside one
+    /// allocation — the allocator's partition invariant. Cheap enough
+    /// to run after every operation in the property tests.
+    pub fn assert_consistent(&self) {
+        let mut owner = vec![0u8; self.p()];
+        for (k, bases) in self.free.iter().enumerate() {
+            assert!(bases.windows(2).all(|w| w[0] < w[1]), "free[{k}] unsorted or duplicated");
+            for &b in bases {
+                for n in Subcube::new(b, k as u32).nodes() {
+                    assert_eq!(owner[n], 0, "node {n} multiply owned");
+                    owner[n] = 1;
+                }
+            }
+        }
+        for &d in &self.dead {
+            assert_eq!(owner[d], 0, "dead node {d} also pooled");
+            owner[d] = 2;
+        }
+        for s in &self.allocated {
+            for n in s.nodes() {
+                assert!(owner[n] == 0 || owner[n] == 2, "allocated node {n} also pooled");
+                if owner[n] == 0 {
+                    owner[n] = 3;
+                }
+            }
+        }
+        assert!(owner.iter().all(|&o| o != 0), "unowned node: pool leak");
+    }
+
+    // ----- internals ----------------------------------------------------
+
+    /// Insert a (healthy) block and merge buddy pairs upward.
+    fn insert_free(&mut self, sub: Subcube) {
+        let mut cur = sub;
+        while cur.order() < self.dim {
+            let buddy = cur.buddy();
+            let bases = &mut self.free[cur.order() as usize];
+            match bases.binary_search(&buddy.base()) {
+                Ok(i) => {
+                    bases.remove(i);
+                    cur = cur.parent();
+                }
+                Err(_) => break,
+            }
+        }
+        let bases = &mut self.free[cur.order() as usize];
+        let at = bases.partition_point(|&b| b < cur.base());
+        bases.insert(at, cur.base());
+    }
+
+    /// Pool the healthy leaves of `sub`: recurse around quarantined
+    /// nodes, inserting maximal clean blocks.
+    fn pool_healthy(&mut self, sub: Subcube) {
+        let has_dead = self.dead.iter().any(|&n| sub.contains(n));
+        if !has_dead {
+            self.insert_free(sub);
+        } else if sub.order() > 0 {
+            let (lo, hi) = sub.halves();
+            self.pool_healthy(lo);
+            self.pool_healthy(hi);
+        }
+        // An order-0 block holding a dead node is dropped: quarantined.
+    }
+
+    /// Remove and return the free block containing `node`, if any.
+    fn take_free_containing(&mut self, node: NodeId) -> Option<Subcube> {
+        for k in 0..=self.dim {
+            let base = node & !((1usize << k) - 1);
+            let bases = &mut self.free[k as usize];
+            if let Ok(i) = bases.binary_search(&base) {
+                bases.remove(i);
+                return Some(Subcube::new(base, k));
+            }
+        }
+        None
+    }
+
+    /// If the free fragments inside `block` cover every non-dead node
+    /// of it, remove them all from the pool and return true; otherwise
+    /// leave the pool untouched and return false.
+    fn claim_free_within(&mut self, block: Subcube) -> bool {
+        let mut covered = 0usize;
+        let mut claims: Vec<(u32, NodeId)> = Vec::new();
+        for k in 0..=block.order() {
+            for &b in &self.free[k as usize] {
+                if block.contains(b) {
+                    covered += 1usize << k;
+                    claims.push((k, b));
+                }
+            }
+        }
+        let dead_inside = self.dead.iter().filter(|&&n| block.contains(n)).count();
+        if covered + dead_inside != block.len() {
+            return false;
+        }
+        for (k, b) in claims {
+            let bases = &mut self.free[k as usize];
+            if let Ok(i) = bases.binary_search(&b) {
+                bases.remove(i);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_splits_lowest_first_and_release_coalesces() {
+        let mut a = BuddyAllocator::new(4);
+        let s1 = a.allocate(2).expect("fresh pool");
+        assert_eq!((s1.base(), s1.order()), (0, 2));
+        let s2 = a.allocate(2).expect("three quarters left");
+        assert_eq!(s2.base(), 4);
+        let s3 = a.allocate(3).expect("high half free");
+        assert_eq!(s3.base(), 8);
+        a.assert_consistent();
+        assert!(a.allocate(3).is_none(), "no order-3 block left");
+        a.release(s1);
+        a.release(s2);
+        a.release(s3);
+        a.assert_consistent();
+        let whole = a.allocate(4).expect("fully coalesced");
+        assert_eq!((whole.base(), whole.order()), (0, 4));
+    }
+
+    #[test]
+    fn dead_node_shrinks_pool_and_blocks_coalescing() {
+        let mut a = BuddyAllocator::new(3);
+        assert_eq!(a.mark_dead(5), DeadImpact::Free);
+        assert_eq!(a.mark_dead(5), DeadImpact::AlreadyDead);
+        a.assert_consistent();
+        assert_eq!(a.free_nodes(), 7);
+        assert!(a.allocate(3).is_none(), "whole cube can never be healthy again");
+        assert!(!a.can_ever_allocate(3));
+        assert!(a.can_ever_allocate(2), "the low half has no casualty");
+        let s = a.allocate(2).expect("low half");
+        assert_eq!(s.base(), 0);
+        assert!(s.nodes().all(|n| !a.is_dead(n)));
+        a.release(s);
+        a.assert_consistent();
+    }
+
+    #[test]
+    fn mid_tenancy_death_is_reported_and_shed_on_release() {
+        let mut a = BuddyAllocator::new(3);
+        let s = a.allocate(2).expect("fresh pool");
+        assert_eq!(a.mark_dead(2), DeadImpact::Allocated(s));
+        a.assert_consistent();
+        a.release(s);
+        a.assert_consistent();
+        // The freed block re-pools as 3 healthy leaves, not 4.
+        assert_eq!(a.free_nodes(), 7);
+        let s2 = a.allocate(2).expect("the untouched high quarter");
+        assert_eq!(s2.base(), 4);
+        assert!(a.allocate(2).is_none(), "the low quarter can never re-form");
+    }
+
+    #[test]
+    fn degraded_allocation_wraps_one_dead_node() {
+        let mut a = BuddyAllocator::new(3);
+        a.mark_dead(6);
+        assert!(a.allocate(3).is_none(), "the whole cube has a casualty");
+        assert!(!a.can_ever_allocate(3));
+        let (s, local_dead) = a.allocate_degraded(3).expect("single-casualty cube");
+        assert_eq!((s.base(), s.order()), (0, 3));
+        assert_eq!(local_dead, 6);
+        a.assert_consistent();
+        a.release(s);
+        a.assert_consistent();
+        // A second casualty in the only order-3 block rules out even a
+        // degraded whole-cube allocation...
+        a.mark_dead(1);
+        assert!(a.allocate_degraded(3).is_none());
+        // ...but an order-2 block with exactly one casualty still exists.
+        let (s2, ld2) = a.allocate_degraded(2).expect("one-casualty quarter");
+        assert_eq!((s2.base(), s2.order()), (0, 2));
+        assert_eq!(ld2, 1);
+        a.assert_consistent();
+    }
+}

@@ -1,0 +1,36 @@
+//! # vmp-sched — multi-tenant subcube scheduling
+//!
+//! The paper specifies its primitives "independently of machine size"
+//! and embeds every object through load-balanced Gray-code subcube
+//! maps. This crate cashes that property in: a `2^d`-node machine is
+//! **space-shared** among many independent jobs — the paper's three
+//! applications — each running on a disjoint aligned subcube exactly
+//! as it would on a machine of its own, bit for bit.
+//!
+//! * [`subcube`] — aligned subcubes (low dimensions free) and why the
+//!   logical-to-physical map is a cube isomorphism;
+//! * [`alloc`] — the buddy allocator: allocate/release/coalesce plus
+//!   dead-node quarantine and single-casualty degraded blocks;
+//! * [`job`] — vector-matrix multiply, Gaussian elimination, and
+//!   simplex as seeded, self-describing jobs with `vmp::analysis`
+//!   service-time predictions and canonical result words;
+//! * [`trace`] — seeded arrival traces with bursty arrivals, fault
+//!   plans, and machine-level node failures;
+//! * [`sched`] — the deterministic event loop: FIFO and
+//!   shortest-predicted-job-first admission, failure-driven abort and
+//!   re-planning, graceful-degradation fallback, and the whole-machine
+//!   FCFS baseline it is measured against (`reproduce -- sched`).
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod job;
+pub mod sched;
+pub mod subcube;
+pub mod trace;
+
+pub use alloc::{BuddyAllocator, DeadImpact};
+pub use job::{JobKind, JobOutput, JobSpec};
+pub use sched::{run_fcfs, run_trace, JobRecord, Metrics, Policy, SimConfig, SimOutcome};
+pub use subcube::Subcube;
+pub use trace::{FailureEvent, Trace, TraceParams};

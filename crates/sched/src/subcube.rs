@@ -1,0 +1,180 @@
+//! Aligned subcubes of a Boolean cube.
+//!
+//! A *subcube* of order `k` inside a `d`-cube is obtained by fixing the
+//! high `d - k` address bits and leaving the **low** `k` dimensions
+//! free: the node set `{base + x : 0 <= x < 2^k}` with `base` a
+//! multiple of `2^k`. This orientation is what makes space-sharing
+//! transparent to the primitives:
+//!
+//! * the free dimensions of every subcube are `0..k`, exactly the
+//!   dimensions a standalone `k`-cube has, so the map
+//!   `logical -> base + logical` is a cube isomorphism that preserves
+//!   channel dimensions;
+//! * binary-reflected Gray-code grid embeddings (and therefore the
+//!   paper's load-balanced matrix/vector layouts) are computed in the
+//!   logical `k`-cube and transfer verbatim — a job scheduled onto any
+//!   subcube runs the *identical* program, superstep for superstep,
+//!   as it would on its own machine, which is why scheduled results
+//!   are bit-identical to standalone runs.
+//!
+//! Two subcubes of the same order whose bases differ only in bit `k`
+//! are *buddies*: they merge into the order-`k + 1` subcube at the
+//! lower base. The allocator in [`crate::alloc`] splits and coalesces
+//! exclusively along buddy pairs.
+
+use vmp_hypercube::topology::NodeId;
+
+/// An aligned subcube: `2^order` nodes starting at `base`, with the low
+/// `order` dimensions free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Subcube {
+    base: NodeId,
+    order: u32,
+}
+
+impl Subcube {
+    /// The subcube `{base .. base + 2^order}`.
+    ///
+    /// # Panics
+    /// Panics if `base` is not aligned to `2^order`.
+    #[must_use]
+    pub fn new(base: NodeId, order: u32) -> Self {
+        assert!(base % (1usize << order) == 0, "subcube base {base} unaligned for order {order}");
+        Subcube { base, order }
+    }
+
+    /// Lowest node identifier in the subcube.
+    #[inline]
+    #[must_use]
+    pub fn base(self) -> NodeId {
+        self.base
+    }
+
+    /// Number of free dimensions `k`.
+    #[inline]
+    #[must_use]
+    pub fn order(self) -> u32 {
+        self.order
+    }
+
+    /// Number of nodes `2^k`.
+    #[inline]
+    #[must_use]
+    pub fn len(self) -> usize {
+        1usize << self.order
+    }
+
+    /// Never empty (order 0 is a single node).
+    #[inline]
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// True iff `node` lies inside this subcube.
+    #[inline]
+    #[must_use]
+    pub fn contains(self, node: NodeId) -> bool {
+        node ^ self.base < self.len()
+    }
+
+    /// The logical (in-subcube) address of a physical node: the inverse
+    /// of `logical -> base + logical`.
+    ///
+    /// # Panics
+    /// Panics if `node` is outside the subcube.
+    #[inline]
+    #[must_use]
+    pub fn local(self, node: NodeId) -> NodeId {
+        assert!(self.contains(node), "node {node} outside {self:?}");
+        node ^ self.base
+    }
+
+    /// The physical node hosting logical address `local`.
+    #[inline]
+    #[must_use]
+    pub fn physical(self, local: NodeId) -> NodeId {
+        debug_assert!(local < self.len());
+        self.base + local
+    }
+
+    /// The buddy of this subcube: same order, base differing in bit
+    /// `order`. Freeing both merges them into [`Subcube::parent`].
+    #[must_use]
+    pub fn buddy(self) -> Subcube {
+        Subcube { base: self.base ^ (1usize << self.order), order: self.order }
+    }
+
+    /// The order-`k + 1` subcube containing this one and its buddy.
+    #[must_use]
+    pub fn parent(self) -> Subcube {
+        Subcube { base: self.base & !(1usize << self.order), order: self.order + 1 }
+    }
+
+    /// The two order-`k - 1` halves, lower base first.
+    ///
+    /// # Panics
+    /// Panics on an order-0 subcube.
+    #[must_use]
+    pub fn halves(self) -> (Subcube, Subcube) {
+        assert!(self.order > 0, "an order-0 subcube has no halves");
+        let k = self.order - 1;
+        (
+            Subcube { base: self.base, order: k },
+            Subcube { base: self.base + (1usize << k), order: k },
+        )
+    }
+
+    /// Iterator over the physical node identifiers.
+    pub fn nodes(self) -> impl Iterator<Item = NodeId> {
+        self.base..self.base + self.len()
+    }
+
+    /// Do two subcubes share any node?
+    #[must_use]
+    pub fn overlaps(self, other: Subcube) -> bool {
+        self.contains(other.base) || other.contains(self.base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addressing_roundtrips() {
+        let s = Subcube::new(8, 3);
+        assert_eq!(s.len(), 8);
+        assert!(s.contains(8) && s.contains(15));
+        assert!(!s.contains(7) && !s.contains(16));
+        for local in 0..8 {
+            assert_eq!(s.local(s.physical(local)), local);
+        }
+    }
+
+    #[test]
+    fn buddy_and_parent_are_involutive() {
+        let s = Subcube::new(8, 2);
+        assert_eq!(s.buddy(), Subcube::new(12, 2));
+        assert_eq!(s.buddy().buddy(), s);
+        assert_eq!(s.parent(), Subcube::new(8, 3));
+        assert_eq!(s.buddy().parent(), s.parent());
+        let (lo, hi) = s.parent().halves();
+        assert_eq!((lo, hi), (s, s.buddy()));
+    }
+
+    #[test]
+    fn overlap_is_containment_of_a_base() {
+        let a = Subcube::new(0, 3);
+        let b = Subcube::new(4, 2);
+        let c = Subcube::new(8, 2);
+        assert!(a.overlaps(b) && b.overlaps(a));
+        assert!(!b.overlaps(c));
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_base_rejected() {
+        let _ = Subcube::new(6, 2);
+    }
+}

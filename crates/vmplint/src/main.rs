@@ -19,7 +19,7 @@ use vmplint::{find_workspace_root, run, Mode};
 
 fn usage() -> String {
     "usage: vmplint [--list] [--json PATH] [--root PATH] [--fixtures [DIR]] [--quiet]\n\
-     sweeps crates/{hypercube,vmp,layout,algos} for determinism (d1/d2),\n\
+     sweeps crates/{hypercube,vmp,layout,algos,sched} for determinism (d1/d2),\n\
      slab-aliasing (s1) and panic-surface (p1) violations; exits 0 when\n\
      clean, 2 on violations, 1 on I/O errors"
         .to_string()

@@ -102,14 +102,20 @@ impl Scope {
 }
 
 /// The crates swept by a workspace scan, relative to the root.
-pub const SCANNED_CRATES: [&str; 4] =
-    ["crates/hypercube/src", "crates/vmp/src", "crates/layout/src", "crates/algos/src"];
+pub const SCANNED_CRATES: [&str; 5] = [
+    "crates/hypercube/src",
+    "crates/vmp/src",
+    "crates/layout/src",
+    "crates/algos/src",
+    "crates/sched/src",
+];
 
 /// The hot-path files where the panic-surface rule (P1) is armed: the
 /// collective layer, the slab arena, the routing layer, the four
-/// primitives and their per-node drivers, and the long-running solver
-/// paths that the checkpoint/restart machinery protects.
-const P1_HOT_PATHS: [&str; 14] = [
+/// primitives and their per-node drivers, the long-running solver
+/// paths that the checkpoint/restart machinery protects, and the whole
+/// multi-tenant scheduler (its event loop must never unwind mid-trace).
+const P1_HOT_PATHS: [&str; 15] = [
     "crates/hypercube/src/collective/",
     "crates/hypercube/src/slab.rs",
     "crates/hypercube/src/spanning.rs",
@@ -124,6 +130,7 @@ const P1_HOT_PATHS: [&str; 14] = [
     "crates/algos/src/checkpoint.rs",
     "crates/algos/src/gauss.rs",
     "crates/algos/src/lu.rs",
+    "crates/sched/src/",
 ];
 
 /// Rule scoping for a workspace-relative path; `None` when the file is
@@ -246,6 +253,9 @@ mod tests {
         assert!(layout.slab);
         assert!(!layout.panic_surface);
         assert!(classify("crates/vmp/src/primitives/reduce.rs").unwrap().panic_surface);
+        let sched = classify("crates/sched/src/sched.rs").unwrap();
+        assert!(sched.determinism && sched.slab);
+        assert!(sched.panic_surface, "the whole scheduler crate is a P1 hot path");
     }
 
     #[test]

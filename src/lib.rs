@@ -17,6 +17,7 @@
 //! | [`layout`] | load-balanced matrix/vector embeddings on processor grids |
 //! | [`core`] | the four primitives, elementwise combinators, embedding changes, naive baseline, cost analysis |
 //! | [`algos`] | matvec / Gaussian elimination / simplex, serial oracles, workload generators |
+//! | [`sched`] | multi-tenant subcube scheduler: buddy allocation, FIFO/SPJF admission, fault re-planning |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@ pub use vmp_algos as algos;
 pub use vmp_core as core;
 pub use vmp_hypercube as hypercube;
 pub use vmp_layout as layout;
+pub use vmp_sched as sched;
 
 /// Everything an application needs, in one import.
 pub mod prelude {

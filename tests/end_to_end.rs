@@ -15,7 +15,7 @@ fn grid(dim: u32) -> ProcGrid {
     ProcGrid::square(Cube::new(dim))
 }
 
-use four_vmp::hypercube::Cube;
+use four_vmp::hypercube::{Counters, Cube};
 
 #[test]
 fn full_linear_solve_pipeline() {
@@ -126,16 +126,16 @@ fn counters_tell_a_consistent_story() {
     let a =
         DistMatrix::from_fn(MatrixLayout::cyclic(MatShape::new(n, n), g), |i, j| (i + j) as f64);
     let mut hc = machine(6);
-    let before = *hc.counters();
-    let _ = primitives::extract(&mut hc, &a, Axis::Row, 3);
-    let after = *hc.counters();
-    assert_eq!(after.message_steps, before.message_steps, "extract is local");
-    assert!(after.local_moves > before.local_moves);
+    let (_, extract_delta) =
+        Counters::scoped(&mut hc, |hc| primitives::extract(hc, &a, Axis::Row, 3));
+    assert_eq!(extract_delta.message_steps, 0, "extract is local");
+    assert!(extract_delta.local_moves > 0);
 
     let cost = *hc.cost();
     let t0 = hc.elapsed_us();
-    let _ = primitives::reduce(&mut hc, &a, Axis::Row, Sum);
+    let (_, reduce_delta) =
+        Counters::scoped(&mut hc, |hc| primitives::reduce(hc, &a, Axis::Row, Sum));
     let dt = hc.elapsed_us() - t0;
-    let steps = hc.counters().message_steps - after.message_steps;
+    let steps = reduce_delta.message_steps;
     assert!(dt >= cost.alpha * steps as f64, "every superstep pays at least alpha");
 }

@@ -1,0 +1,235 @@
+//! Scheduler invariants: the buddy allocator under random operation
+//! sequences, and the bit-identity of scheduled runs against standalone
+//! runs — including under recoverable fault plans, machine-level node
+//! failures, and graceful degradation.
+
+// Proptest sweeps are far too slow under Miri's interpreter; the
+// dedicated Miri CI job covers the library's unsafe/aliasing surface
+// via the unit tests instead (see .github/workflows/ci.yml).
+#![cfg(not(miri))]
+
+use proptest::prelude::*;
+use proptest::TestRng;
+
+use four_vmp::hypercube::CostModel;
+use four_vmp::sched::{
+    run_fcfs, run_trace, BuddyAllocator, DeadImpact, JobKind, JobSpec, Policy, SimConfig, Subcube,
+    Trace, TraceParams,
+};
+
+/// Vec-of-strategy combinator (the vendored proptest stand-in has no
+/// `prop::collection`): a length drawn from `len`, then that many
+/// element samples.
+struct VecOf<S> {
+    elem: S,
+    len: std::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.len.clone().sample(rng);
+        (0..len).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+/// A random allocator workload: allocate, release a live block, or kill
+/// a node. Encoded as (op selector, operand) pairs.
+fn ops_strategy() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    VecOf { elem: (0u8..=2, 0u8..=255), len: 1..120 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the operation sequence, the allocator's free, dead and
+    /// allocated sets always partition the machine: no node is ever in
+    /// two subcubes, lost, or handed out twice.
+    #[test]
+    fn allocator_never_double_allocates(ops in ops_strategy()) {
+        let dim = 5u32;
+        let mut a = BuddyAllocator::new(dim);
+        let mut live: Vec<Subcube> = Vec::new();
+        for (op, arg) in ops {
+            match op {
+                0 => {
+                    let order = u32::from(arg) % (dim + 1);
+                    if let Some(sub) = a.allocate(order) {
+                        prop_assert_eq!(sub.order(), order);
+                        prop_assert!(sub.nodes().all(|n| !a.is_dead(n)));
+                        // Disjoint from every other outstanding block.
+                        prop_assert!(live.iter().all(|s| !s.overlaps(sub)));
+                        live.push(sub);
+                    }
+                }
+                1 => {
+                    if !live.is_empty() {
+                        let sub = live.remove(usize::from(arg) % live.len());
+                        a.release(sub);
+                    }
+                }
+                _ => {
+                    let node = usize::from(arg) % (1usize << dim);
+                    if let DeadImpact::Allocated(sub) = a.mark_dead(node) {
+                        // A casualty inside a tenant: the scheduler's
+                        // abort path releases the block.
+                        live.retain(|s| *s != sub);
+                        a.release(sub);
+                    }
+                }
+            }
+            a.assert_consistent();
+        }
+    }
+
+    /// Releasing everything coalesces all healthy space back into
+    /// maximal blocks: with no casualties, the whole machine re-forms.
+    #[test]
+    fn frees_fully_coalesce(orders in VecOf { elem: 0u32..=4, len: 1..24 }) {
+        let dim = 5u32;
+        let mut a = BuddyAllocator::new(dim);
+        let mut live = Vec::new();
+        for order in orders {
+            if let Some(sub) = a.allocate(order) {
+                live.push(sub);
+            }
+        }
+        for sub in live {
+            a.release(sub);
+        }
+        a.assert_consistent();
+        let whole = a.allocate(dim);
+        prop_assert!(whole.is_some(), "all frees must coalesce back to the full cube");
+    }
+
+    /// The allocator is a pure function of its call sequence: replaying
+    /// the same operations yields the same subcubes.
+    #[test]
+    fn allocator_is_deterministic(ops in ops_strategy()) {
+        let replay = |ops: &[(u8, u8)]| -> Vec<Option<(usize, u32)>> {
+            let mut a = BuddyAllocator::new(5);
+            let mut live = Vec::new();
+            let mut log = Vec::new();
+            for &(op, arg) in ops {
+                match op {
+                    0 => {
+                        let got = a.allocate(u32::from(arg) % 6);
+                        log.push(got.map(|s| (s.base(), s.order())));
+                        if let Some(s) = got {
+                            live.push(s);
+                        }
+                    }
+                    1 => {
+                        if !live.is_empty() {
+                            a.release(live.remove(usize::from(arg) % live.len()));
+                        }
+                    }
+                    _ => {
+                        if let DeadImpact::Allocated(sub) = a.mark_dead(usize::from(arg) % 32) {
+                            live.retain(|s| *s != sub);
+                            a.release(sub);
+                        }
+                    }
+                }
+            }
+            log
+        };
+        prop_assert_eq!(replay(&ops), replay(&ops));
+    }
+}
+
+/// Every job scheduled on a subcube — FIFO and SPJF, across a trace
+/// that includes jobs with recoverable transient-drop fault plans and a
+/// machine-level node failure that forces an abort/re-plan — produces
+/// exactly the bytes of its standalone run.
+#[test]
+fn scheduled_results_are_bit_identical_to_standalone() {
+    let cost = CostModel::cm2();
+    for seed in [3u64, 1989] {
+        let trace = Trace::generate(TraceParams::smoke(), seed);
+        assert!(!trace.failures.is_empty(), "the smoke trace must inject a failure");
+        for policy in [Policy::Fifo, Policy::Spjf] {
+            let out = run_trace(&trace, SimConfig { dim: 6, cost, policy });
+            assert_eq!(
+                out.metrics.completed + out.metrics.skipped,
+                trace.jobs.len(),
+                "no job may be lost"
+            );
+            for r in &out.records {
+                let standalone = trace.jobs[r.id].run_standalone(cost);
+                assert_eq!(
+                    r.words, standalone.words,
+                    "job {} ({}) under {policy:?}, seed {seed}",
+                    r.id, r.kind
+                );
+            }
+        }
+    }
+}
+
+/// A trace whose only order-`dim` block carries a casualty before any
+/// job arrives: the scheduler must fall back to a degraded allocation
+/// and the degraded run must still match the standalone bits.
+#[test]
+fn degraded_fallback_is_bit_identical() {
+    let cost = CostModel::cm2();
+    let job = JobSpec {
+        id: 0,
+        kind: JobKind::Gauss { n: 10 },
+        order: 3,
+        seed: 77,
+        arrival_us: 10.0,
+        drop_rate: 0.0,
+    };
+    let trace = Trace {
+        jobs: vec![job.clone()],
+        failures: vec![four_vmp::sched::FailureEvent { at_us: 0.0, node: 6 }],
+    };
+    let out = run_trace(&trace, SimConfig { dim: 3, cost, policy: Policy::Fifo });
+    assert_eq!(out.metrics.completed, 1);
+    let r = &out.records[0];
+    assert!(r.degraded, "the whole machine has a casualty: only a degraded block fits");
+    assert_eq!(r.words, job.run_standalone(cost).words, "degraded bits must match");
+    assert!(r.service_us > job.run_standalone(cost).service_us, "degradation costs time");
+}
+
+/// A job aborted by a mid-run node failure completes on a healthy
+/// subcube with unchanged result bytes and `attempts > 1`.
+#[test]
+fn failure_abort_replans_without_changing_bits() {
+    let cost = CostModel::cm2();
+    let job = JobSpec {
+        id: 0,
+        kind: JobKind::Matvec { n: 64 },
+        order: 4,
+        seed: 5,
+        arrival_us: 0.0,
+        drop_rate: 0.02,
+    };
+    let service = job.run_standalone(cost).service_us;
+    let trace = Trace {
+        jobs: vec![job.clone()],
+        // The allocator packs from base 0, so node 3 is inside the
+        // first allocation; fail it mid-service.
+        failures: vec![four_vmp::sched::FailureEvent { at_us: service * 0.5, node: 3 }],
+    };
+    let out = run_trace(&trace, SimConfig { dim: 5, cost, policy: Policy::Fifo });
+    assert_eq!(out.metrics.completed, 1);
+    assert_eq!(out.metrics.aborts, 1);
+    let r = &out.records[0];
+    assert_eq!(r.attempts, 2, "one abort, one successful re-plan");
+    assert_eq!(r.words, job.run_standalone(cost).words);
+}
+
+/// The FCFS baseline shares the bit-identity contract (it runs the
+/// standalone path), so the experiment's comparison is apples to apples.
+#[test]
+fn fcfs_baseline_matches_standalone_bits_too() {
+    let cost = CostModel::cm2();
+    let trace = Trace::generate(TraceParams::smoke(), 11);
+    let out = run_fcfs(&trace, 6, cost);
+    assert_eq!(out.metrics.completed, trace.jobs.len());
+    for r in &out.records {
+        assert_eq!(r.words, trace.jobs[r.id].run_standalone(cost).words);
+    }
+}
