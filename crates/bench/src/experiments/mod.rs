@@ -2,6 +2,7 @@
 //! `DESIGN.md`'s experiment index.
 
 pub mod algorithms_exp;
+pub mod allport_exp;
 pub mod embedding_exp;
 pub mod extensions_exp;
 pub mod fault_exp;
@@ -16,9 +17,10 @@ use crate::table::Table;
 
 /// All experiment ids in presentation order (T/F reproduce the paper's
 /// evaluation; X are this library's extensions; R are robustness;
-/// `sched` is the multi-tenant scheduler study; `wallclock` measures
-/// the simulator's own host time).
-pub const ALL_IDS: [&str; 18] = [
+/// `sched` is the multi-tenant scheduler study; `allport` the all-port
+/// collective engine; `wallclock` measures the simulator's own host
+/// time).
+pub const ALL_IDS: [&str; 19] = [
     "t1",
     "t2",
     "t3",
@@ -36,12 +38,13 @@ pub const ALL_IDS: [&str; 18] = [
     "x6",
     "r1",
     "sched",
+    "allport",
     "wallclock",
 ];
 
 /// `(id, one-line description)` for every experiment, in [`ALL_IDS`]
 /// order — what `reproduce --list` prints.
-pub const DESCRIPTIONS: [(&str, &str); 18] = [
+pub const DESCRIPTIONS: [(&str, &str); 19] = [
     ("t1", "primitive timings vs matrix size (p = 1024, CM-2 model)"),
     ("t2", "primitive timings vs machine size (n = 1024, CM-2 model)"),
     ("t3", "naive (general router) vs primitives, application kernels (p = 256)"),
@@ -63,22 +66,48 @@ pub const DESCRIPTIONS: [(&str, &str); 18] = [
         "multi-tenant subcube scheduler vs whole-machine FCFS (p = 1024, + BENCH_sched.json)",
     ),
     (
+        "allport",
+        "all-port collectives vs single-port schedules (p up to 1024, + BENCH_allport.json)",
+    ),
+    (
         "wallclock",
         "host wall-clock: slab data plane vs seed nested-Vec path (+ BENCH_wallclock.json)",
     ),
 ];
 
+/// Knobs shared by the experiment drivers. Only the artifact-emitting
+/// experiments (`allport`, `wallclock`, `sched`) read them; the
+/// simulated-time experiments' sizes are part of what they reproduce.
+#[derive(Debug, Clone, Default)]
+pub struct RunOpts {
+    /// Shrink to CI-sized inputs.
+    pub smoke: bool,
+    /// Overwrite protected `BENCH_*.json` baselines (see
+    /// [`crate::baseline`]).
+    pub force: bool,
+    /// Override the `BENCH_*.json` output path (`allport` and
+    /// `wallclock`; select one experiment when setting this, or they
+    /// will write to the same file).
+    pub json_path: Option<String>,
+}
+
 /// Run one experiment by id (case-insensitive). `None` for unknown ids.
 #[must_use]
 pub fn run(id: &str) -> Option<Table> {
-    run_opts(id, false)
+    run_with(id, &RunOpts::default())
 }
 
-/// As [`run`], with knobs: `smoke` shrinks the wall-clock and scheduler
-/// experiments to CI-sized inputs (ignored by the other simulated-time
-/// experiments, whose sizes are part of what they reproduce).
+/// As [`run`], shrinking the wall-clock, all-port and scheduler
+/// experiments to CI-sized inputs when `smoke` is set.
 #[must_use]
 pub fn run_opts(id: &str, smoke: bool) -> Option<Table> {
+    run_with(id, &RunOpts { smoke, ..RunOpts::default() })
+}
+
+/// As [`run`], with the full knob set.
+#[must_use]
+pub fn run_with(id: &str, opts: &RunOpts) -> Option<Table> {
+    let smoke = opts.smoke;
     match id.to_ascii_lowercase().as_str() {
         "t1" => Some(primitives_exp::t1()),
         "t2" => Some(primitives_exp::t2()),
@@ -97,7 +126,8 @@ pub fn run_opts(id: &str, smoke: bool) -> Option<Table> {
         "x6" => Some(extensions_exp::x6()),
         "r1" => Some(fault_exp::r1()),
         "sched" => Some(sched_exp::sched(smoke)),
-        "wallclock" => Some(wallclock_exp::wallclock(smoke)),
+        "allport" => Some(allport_exp::allport(opts)),
+        "wallclock" => Some(wallclock_exp::wallclock(opts)),
         _ => None,
     }
 }
@@ -136,6 +166,7 @@ mod tests {
                         | "x6"
                         | "r1"
                         | "sched"
+                        | "allport"
                         | "wallclock"
                 ),
                 "{id} should be dispatchable"

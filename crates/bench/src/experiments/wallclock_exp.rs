@@ -16,8 +16,11 @@
 //! number is reported: the data plane may only change how fast the host
 //! simulates, never what the simulation says.
 //!
-//! Results are also written to `BENCH_wallclock.json` in the working
-//! directory so future PRs have a baseline to regress against.
+//! Results are also written to `BENCH_wallclock.json` (or the
+//! `--json-path` override) so future PRs have a baseline to regress
+//! against; the write is guarded (see [`crate::baseline`]) so a smoke
+//! run or a stale re-run never silently replaces a good baseline
+//! without `--force`.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -31,7 +34,9 @@ use vmp_hypercube::collective::{self, reference};
 use vmp_hypercube::slab::{NodeSlab, SegSlab};
 use vmp_hypercube::topology::Cube;
 
+use crate::baseline::guarded_write;
 use crate::common::{cm2, hash_entry, random_aligned_vector, random_dist_matrix, square_grid};
+use crate::experiments::RunOpts;
 use crate::table::Table;
 
 /// One benchmark measurement, as serialised into `BENCH_wallclock.json`.
@@ -57,6 +62,7 @@ pub struct WallclockEntry {
 }
 
 fn time_ns<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    black_box(f()); // warm-up: page in buffers, stabilise the allocator
     let start = Instant::now();
     for _ in 0..iters {
         black_box(f());
@@ -161,9 +167,11 @@ fn sizes(smoke: bool) -> Sizes {
 }
 
 /// WC: wall-clock of the slab data plane vs the seed nested-Vec path.
-/// `smoke` shrinks everything to a CI-sized run.
+/// `opts.smoke` shrinks everything to a CI-sized run; `opts.json_path`
+/// and `opts.force` steer the guarded baseline write.
 #[must_use]
-pub fn wallclock(smoke: bool) -> Table {
+pub fn wallclock(opts: &RunOpts) -> Table {
+    let smoke = opts.smoke;
     let s = sizes(smoke);
     let mut entries: Vec<WallclockEntry> = Vec::new();
 
@@ -198,7 +206,7 @@ pub fn wallclock(smoke: bool) -> Table {
                 seed_ns: Some(seed_ns),
                 slab_ns,
                 speedup: Some(seed_ns / slab_ns),
-                sim_us: hc_slab.elapsed_us() / s.iters as f64,
+                sim_us: hc_slab.elapsed_us() / (s.iters + 1) as f64, // +1: warm-up run
                 iters: s.iters,
             });
         }
@@ -228,7 +236,7 @@ pub fn wallclock(smoke: bool) -> Table {
                 seed_ns: Some(seed_ns),
                 slab_ns,
                 speedup: Some(seed_ns / slab_ns),
-                sim_us: hc_slab.elapsed_us() / s.iters as f64,
+                sim_us: hc_slab.elapsed_us() / (s.iters + 1) as f64, // +1: warm-up run
                 iters: s.iters,
             });
         }
@@ -257,7 +265,7 @@ pub fn wallclock(smoke: bool) -> Table {
                 seed_ns: Some(seed_ns),
                 slab_ns,
                 speedup: Some(seed_ns / slab_ns),
-                sim_us: hc_slab.elapsed_us() / s.iters as f64,
+                sim_us: hc_slab.elapsed_us() / (s.iters + 1) as f64, // +1: warm-up run
                 iters: s.iters,
             });
         }
@@ -283,7 +291,7 @@ pub fn wallclock(smoke: bool) -> Table {
                 seed_ns: Some(seed_ns),
                 slab_ns,
                 speedup: Some(seed_ns / slab_ns),
-                sim_us: hc_slab.elapsed_us() / s.iters as f64,
+                sim_us: hc_slab.elapsed_us() / (s.iters + 1) as f64, // +1: warm-up run
                 iters: s.iters,
             });
         }
@@ -326,7 +334,7 @@ pub fn wallclock(smoke: bool) -> Table {
                 seed_ns: Some(seed_ns),
                 slab_ns,
                 speedup: Some(seed_ns / slab_ns),
-                sim_us: hc_slab.elapsed_us() / s.iters as f64,
+                sim_us: hc_slab.elapsed_us() / (s.iters + 1) as f64, // +1: warm-up run
                 iters: s.iters,
             });
         }
@@ -343,7 +351,7 @@ pub fn wallclock(smoke: bool) -> Table {
                 seed_ns: None,
                 slab_ns: ns,
                 speedup: None,
-                sim_us: hc.elapsed_us() / s.iters as f64,
+                sim_us: hc.elapsed_us() / (s.iters + 1) as f64, // +1: warm-up run
                 iters: s.iters,
             });
         }
@@ -398,12 +406,26 @@ pub fn wallclock(smoke: bool) -> Table {
         }
     }
 
-    // Emit the JSON baseline wherever the harness runs.
-    let json = serde_json::to_string_pretty(&entries).expect("serialisable entries");
-    let path = "BENCH_wallclock.json";
-    if let Err(e) = std::fs::write(path, json) {
-        eprintln!("warning: cannot write {path}: {e}");
+    if !smoke {
+        // The slab data plane must never lose to the seed path at full
+        // sizes — the committed baseline is also a regression gate.
+        // (Smoke runs are too noisy at 2 iterations to enforce this.)
+        for e in &entries {
+            if e.bench == "primitive/reduce-row" {
+                let speedup = e.speedup.expect("comparison row");
+                assert!(
+                    speedup >= 1.0,
+                    "primitive/reduce-row regressed at p={}: {speedup:.2}x (slab slower than seed)",
+                    e.p
+                );
+            }
+        }
     }
+
+    // Emit the JSON baseline wherever the harness runs (guarded: a
+    // smoke run or a stale re-run never replaces a good baseline).
+    let path = opts.json_path.as_deref().unwrap_or("BENCH_wallclock.json");
+    let outcome = guarded_write(path, &entries, smoke, opts.force);
 
     let mut t = Table::new(
         "WC",
@@ -426,7 +448,7 @@ pub fn wallclock(smoke: bool) -> Table {
             crate::table::fmt_us(e.sim_us),
         ]);
     }
-    t.note(format!("wrote {} entries to {path}", entries.len()));
+    t.note(format!("{} ({} entries)", outcome.describe(path), entries.len()));
     t.note("simulated elapsed_us asserted bit-identical between seed and slab paths");
     if smoke {
         t.note("smoke sizes — timings indicative only; run without --smoke for the baseline");
@@ -467,8 +489,15 @@ mod tests {
 
     #[test]
     fn smoke_run_produces_rows_for_every_bench() {
-        let t = wallclock(true);
+        let mut path = std::env::temp_dir();
+        path.push(format!("vmp-wallclock-test-{}.json", std::process::id()));
+        let path = path.to_string_lossy().into_owned();
+        let opts = RunOpts { smoke: true, force: true, json_path: Some(path.clone()) };
+        let t = wallclock(&opts);
         assert_eq!(t.rows.len(), 8, "5 comparisons + 3 applications on one cube");
-        let _ = std::fs::remove_file("BENCH_wallclock.json");
+        let json = std::fs::read_to_string(&path).expect("bench json written");
+        let _ = std::fs::remove_file(&path);
+        assert!(json.contains("\"smoke\": true"), "envelope records the run mode: {json}");
+        assert!(json.contains("primitive/reduce-row"), "{json}");
     }
 }

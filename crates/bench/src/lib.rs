@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod common;
 pub mod experiments;
 pub mod table;

@@ -1,6 +1,7 @@
 //! One-to-all broadcast within subcubes (spanning binomial tree).
 
-use super::check_dims;
+use super::{allport, check_dims};
+use crate::cost::{Algo, Collective};
 use crate::machine::Hypercube;
 use crate::slab::NodeSlab;
 use crate::topology::NodeId;
@@ -38,23 +39,37 @@ pub fn broadcast_slab<T: Copy>(
     let root_of: Vec<usize> =
         (0..slab.p()).map(|node| cube.with_coords(node, root_coord, dims)).collect();
 
-    for (j, &d) in dims.iter().enumerate() {
-        let bit = 1usize << j;
-        let mut transfers: Vec<(NodeId, NodeId)> = Vec::new();
-        let mut max_len = 0usize;
-        let mut total: u64 = 0;
-        for node in cube.iter_nodes() {
-            let c = cube.extract_coords(node, dims);
-            let x = c ^ root_coord;
-            if x < bit {
-                let partner = cube.neighbor(node, d);
-                let len = slab.len_of(root_of[node]);
-                max_len = max_len.max(len);
-                total += len as u64;
-                transfers.push((node, partner));
+    let root_len = root_of.iter().map(|&r| slab.len_of(r)).max().unwrap_or(0);
+    match hc.choose_algo(Collective::Broadcast, k, root_len) {
+        Algo::SinglePort => {
+            for (j, &d) in dims.iter().enumerate() {
+                let bit = 1usize << j;
+                let mut transfers: Vec<(NodeId, NodeId)> = Vec::new();
+                let mut max_len = 0usize;
+                let mut total: u64 = 0;
+                for node in cube.iter_nodes() {
+                    let c = cube.extract_coords(node, dims);
+                    let x = c ^ root_coord;
+                    if x < bit {
+                        let partner = cube.neighbor(node, d);
+                        let len = slab.len_of(root_of[node]);
+                        max_len = max_len.max(len);
+                        total += len as u64;
+                        transfers.push((node, partner));
+                    }
+                }
+                hc.charge_exchange_step(&transfers, max_len, total);
             }
         }
-        hc.charge_exchange_step(&transfers, max_len, total);
+        Algo::AllPort { chunks } => {
+            let total: u64 = root_of
+                .iter()
+                .enumerate()
+                .filter(|&(node, &r)| node != r)
+                .map(|(_, &r)| slab.len_of(r) as u64)
+                .sum();
+            allport::charge(hc, Collective::Broadcast, k, root_len, chunks, total);
+        }
     }
 
     let total_out: usize = root_of.iter().map(|&r| slab.len_of(r)).sum();

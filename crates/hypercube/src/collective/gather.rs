@@ -12,7 +12,8 @@
 //! materialised in a single pass. This removes the `O(total * steps)`
 //! host copying of the nested-`Vec` data plane.
 
-use super::check_dims;
+use super::{allport, check_dims};
+use crate::cost::{Algo, Collective};
 use crate::machine::Hypercube;
 use crate::slab::{NodeSlab, SegSlab};
 
@@ -29,7 +30,13 @@ pub fn allgather_slab<T: Copy>(hc: &mut Hypercube, slab: &mut NodeSlab<T>, dims:
     assert_eq!(slab.p(), cube.nodes());
     let k = dims.len();
 
-    // Charge the recursive-doubling schedule from lengths alone.
+    let seg_len = slab.max_seg_len();
+    let algo = hc.choose_algo(Collective::Allgather, k, seg_len);
+    let mut allport_total: u64 = 0;
+
+    // Walk the recursive-doubling schedule from lengths alone (the
+    // merged lengths are needed for the totals under every schedule);
+    // charge per step only on the single-port path.
     let mut lens: Vec<usize> = (0..slab.p()).map(|n| slab.len_of(n)).collect();
     for &d in dims {
         let chan = 1usize << d;
@@ -49,7 +56,13 @@ pub fn allgather_slab<T: Copy>(hc: &mut Hypercube, slab: &mut NodeSlab<T>, dims:
             lens[node] = merged;
             lens[partner] = merged;
         }
-        hc.charge_exchange_step(&pairs, max_len, total);
+        match algo {
+            Algo::SinglePort => hc.charge_exchange_step(&pairs, max_len, total),
+            Algo::AllPort { .. } => allport_total += total,
+        }
+    }
+    if let Algo::AllPort { chunks } = algo {
+        allport::charge(hc, Collective::Allgather, k, seg_len, chunks, allport_total);
     }
     if k == 0 {
         return;

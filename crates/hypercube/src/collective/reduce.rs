@@ -1,6 +1,7 @@
 //! All-to-one reduction and all-reduce within subcubes.
 
-use super::check_dims;
+use super::{allport, check_dims};
+use crate::cost::{Algo, Collective};
 use crate::machine::Hypercube;
 use crate::slab::NodeSlab;
 
@@ -34,6 +35,9 @@ pub fn reduce_slab<T: Copy>(
         return;
     }
 
+    let algo = hc.choose_algo(Collective::Reduce, k, slab.max_seg_len());
+    let mut allport_total: u64 = 0;
+
     // Live lengths: a sender's segment is logically consumed (the slab
     // keeps its stale bytes until the final compaction).
     let mut lens: Vec<usize> = (0..slab.p()).map(|n| slab.len_of(n)).collect();
@@ -65,8 +69,16 @@ pub fn reduce_slab<T: Copy>(
                 *acc = op(*acc, v);
             }
         }
-        hc.charge_exchange_step(&pairs, max_len, total);
-        hc.charge_flops(max_len);
+        match algo {
+            Algo::SinglePort => {
+                hc.charge_exchange_step(&pairs, max_len, total);
+                hc.charge_flops(max_len);
+            }
+            Algo::AllPort { .. } => allport_total += total,
+        }
+    }
+    if let Algo::AllPort { chunks } = algo {
+        allport::charge(hc, Collective::Reduce, k, slab.max_seg_len(), chunks, allport_total);
     }
 
     // Compact: roots keep their combined segment, everyone else empties.
@@ -118,6 +130,14 @@ pub fn allreduce_slab<T: Copy>(
     check_dims(cube, dims);
     assert_eq!(slab.p(), cube.nodes());
 
+    let algo = hc.choose_algo(Collective::Allreduce, dims.len(), slab.max_seg_len());
+    let mut allport_total: u64 = 0;
+    // Uniform segment lengths (the common balanced-layout case) take the
+    // block-combine fast path: one straight-line pass per dimension via
+    // [`NodeSlab::butterfly_combine`], bit-identical to the per-pair
+    // loop but without per-pair offset lookups.
+    let uniform = slab.uniform_seg_len().filter(|&l| l > 0);
+
     for &d in dims {
         let bit = 1usize << d;
         let mut max_len = 0usize;
@@ -138,15 +158,35 @@ pub fn allreduce_slab<T: Copy>(
             let len = slab.len_of(node);
             max_len = max_len.max(len);
             total += 2 * len as u64;
-            let (lo, hi) = slab.pair_mut(node, partner);
-            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
-                let combined = op(*a, *b);
-                *a = combined;
-                *b = combined;
+            if uniform.is_none() {
+                let (lo, hi) = slab.pair_mut(node, partner);
+                for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                    let combined = op(*a, *b);
+                    *a = combined;
+                    *b = combined;
+                }
             }
         }
-        hc.charge_exchange_step(&pairs, max_len, total);
-        hc.charge_flops(max_len);
+        if uniform.is_some() {
+            slab.butterfly_combine(bit, &op);
+        }
+        match algo {
+            Algo::SinglePort => {
+                hc.charge_exchange_step(&pairs, max_len, total);
+                hc.charge_flops(max_len);
+            }
+            Algo::AllPort { .. } => allport_total += total,
+        }
+    }
+    if let Algo::AllPort { chunks } = algo {
+        allport::charge(
+            hc,
+            Collective::Allreduce,
+            dims.len(),
+            slab.max_seg_len(),
+            chunks,
+            allport_total,
+        );
     }
 }
 

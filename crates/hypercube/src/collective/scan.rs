@@ -15,13 +15,16 @@
 //! buffer the seed allocated anyway. Combine order is unchanged, so
 //! results are bit-identical.
 
-use super::check_dims;
+use super::{allport, check_dims};
+use crate::cost::{Algo, Collective};
 use crate::machine::Hypercube;
 use crate::slab::NodeSlab;
 
 /// The classic `(prefix, totals)` butterfly, steps `start..`, exactly as
-/// the seed runs it (same pair order, same combine expressions, same
-/// per-step charges).
+/// the seed runs it (same pair order, same combine expressions). Charges
+/// per superstep under [`Algo::SinglePort`]; under [`Algo::AllPort`]
+/// nothing is charged here and the machine-wide element total of the
+/// walked steps is returned for the caller's schedule charge.
 fn butterfly_steps<T: Copy>(
     hc: &mut Hypercube,
     prefix: &mut NodeSlab<T>,
@@ -29,7 +32,9 @@ fn butterfly_steps<T: Copy>(
     dims: &[u32],
     start: usize,
     op: &impl Fn(T, T) -> T,
-) {
+    algo: Algo,
+) -> u64 {
+    let mut skipped_total: u64 = 0;
     let cube = hc.cube();
     for (j, &d) in dims.iter().enumerate().skip(start) {
         let bit_in_coord = 1usize << j;
@@ -65,9 +70,15 @@ fn butterfly_steps<T: Copy>(
                 hi_prefix[i] = op(lo_v, hi_prefix[i]);
             }
         }
-        hc.charge_exchange_step(&pairs, max_len, total_elems);
-        hc.charge_flops(2 * max_len);
+        match algo {
+            Algo::SinglePort => {
+                hc.charge_exchange_step(&pairs, max_len, total_elems);
+                hc.charge_flops(2 * max_len);
+            }
+            Algo::AllPort { .. } => skipped_total += total_elems,
+        }
     }
+    skipped_total
 }
 
 /// Inclusive scan over a flat [`NodeSlab`]: after the call, the segment
@@ -91,6 +102,8 @@ pub fn scan_inclusive_slab<T: Copy>(
     if dims.is_empty() {
         return;
     }
+    let algo = hc.choose_algo(Collective::Scan, dims.len(), slab.max_seg_len());
+    let seg_len = slab.max_seg_len();
 
     // Fused step 0: after it, both partners' totals are op(lo, hi) and
     // the upper prefix is op(lo, hi) too — so the totals slab is built
@@ -125,10 +138,19 @@ pub fn scan_inclusive_slab<T: Copy>(
             *y = op(*x, *y);
         }
     }
-    hc.charge_exchange_step(&pairs, max_len, total_elems);
-    hc.charge_flops(2 * max_len);
+    let mut skipped_total: u64 = 0;
+    match algo {
+        Algo::SinglePort => {
+            hc.charge_exchange_step(&pairs, max_len, total_elems);
+            hc.charge_flops(2 * max_len);
+        }
+        Algo::AllPort { .. } => skipped_total += total_elems,
+    }
 
-    butterfly_steps(hc, slab, &mut totals, dims, 1, &op);
+    skipped_total += butterfly_steps(hc, slab, &mut totals, dims, 1, &op, algo);
+    if let Algo::AllPort { chunks } = algo {
+        allport::charge(hc, Collective::Scan, dims.len(), seg_len, chunks, skipped_total);
+    }
 }
 
 /// Exclusive scan over a flat [`NodeSlab`] with `identity`: coordinate
@@ -146,9 +168,14 @@ pub fn scan_exclusive_slab<T: Copy>(
     assert_eq!(slab.p(), cube.nodes());
     // The inputs become the running totals wholesale (no copy); the
     // prefix buffer starts as the identity everywhere.
+    let algo = hc.choose_algo(Collective::Scan, dims.len(), slab.max_seg_len());
+    let seg_len = slab.max_seg_len();
     let lens: Vec<usize> = (0..slab.p()).map(|n| slab.len_of(n)).collect();
     let mut totals = std::mem::replace(slab, NodeSlab::filled(&lens, identity));
-    butterfly_steps(hc, slab, &mut totals, dims, 0, &op);
+    let skipped_total = butterfly_steps(hc, slab, &mut totals, dims, 0, &op, algo);
+    if let Algo::AllPort { chunks } = algo {
+        allport::charge(hc, Collective::Scan, dims.len(), seg_len, chunks, skipped_total);
+    }
 }
 
 /// Inclusive scan: after the call, the node at coordinate `c` holds the

@@ -30,6 +30,191 @@ pub enum PortModel {
     AllPort,
 }
 
+/// Which collective a schedule is selected or priced for. The five
+/// kinds the slab data plane implements all-port schedules for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Collective {
+    /// One-to-all within each subcube.
+    Broadcast,
+    /// All-to-one combine within each subcube.
+    Reduce,
+    /// Butterfly combine, result replicated.
+    Allreduce,
+    /// Concatenation, result replicated.
+    Allgather,
+    /// Parallel prefix in coordinate order.
+    Scan,
+}
+
+/// A concrete schedule choice for one collective call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// One dimension per superstep — the conservative seed schedules.
+    SinglePort,
+    /// All `k` ports concurrent over the `k` edge-disjoint spanning
+    /// binomial trees (see [`crate::spanning::EsbtForest`]); each tree
+    /// carries `ceil(L/k)` elements, pipelined as `chunks` cells.
+    AllPort {
+        /// Pipeline depth per tree (1 = unpipelined).
+        chunks: usize,
+    },
+}
+
+/// Schedule-selection policy threaded through the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlgoPolicy {
+    /// Pick the cheaper of single-port and all-port under the cost
+    /// model (single-port whenever `ports` is [`PortModel::OnePort`]).
+    Auto,
+    /// Always the one-dimension-per-superstep schedules.
+    ForceSinglePort,
+    /// Always all-port, unpipelined (`chunks = 1`).
+    ForceAllPort,
+    /// Always all-port with pipelined chunking (`chunks >= 2`).
+    ForcePipelined,
+}
+
+/// Default pipeline cell: chunks are sized so one cell rides each tree
+/// edge per superstep once a tree's share exceeds this many elements.
+pub const DEFAULT_PIPELINE_CELL: usize = 256;
+
+/// The all-port schedule selector: policy plus the pipeline cell size.
+/// Live fault state always overrides the policy — degraded or faulty
+/// machines fall back to the single-port schedules, whose exchange
+/// steps carry the detour/retry machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlgoSelect {
+    /// Which schedules are eligible.
+    pub policy: AlgoPolicy,
+    /// Pipeline cell size in elements (see [`DEFAULT_PIPELINE_CELL`]).
+    pub cell: usize,
+}
+
+impl Default for AlgoSelect {
+    fn default() -> Self {
+        AlgoSelect { policy: AlgoPolicy::Auto, cell: DEFAULT_PIPELINE_CELL }
+    }
+}
+
+impl AlgoSelect {
+    /// Pipeline depth for a length-`len` payload split over `k` trees:
+    /// `ceil(ceil(len/k) / cell)` cells per tree, at least 1.
+    #[must_use]
+    pub fn pipeline_chunks(&self, k: usize, len: usize) -> usize {
+        if k == 0 {
+            return 1;
+        }
+        len.div_ceil(k).div_ceil(self.cell.max(1)).max(1)
+    }
+
+    /// Choose the schedule for one collective call: `k = |dims|`, `len`
+    /// the critical-path segment length, `live_faults` whether the
+    /// machine currently has a non-empty fault plan or degradation
+    /// remaps installed (which force the single-port fallback).
+    #[must_use]
+    pub fn choose(
+        &self,
+        cost: &CostModel,
+        kind: Collective,
+        k: usize,
+        len: usize,
+        live_faults: bool,
+    ) -> Algo {
+        if k == 0 || len == 0 || live_faults {
+            return Algo::SinglePort;
+        }
+        match self.policy {
+            AlgoPolicy::ForceSinglePort => Algo::SinglePort,
+            AlgoPolicy::ForceAllPort => Algo::AllPort { chunks: 1 },
+            AlgoPolicy::ForcePipelined => {
+                Algo::AllPort { chunks: self.pipeline_chunks(k, len).max(2) }
+            }
+            AlgoPolicy::Auto => {
+                if cost.ports == PortModel::OnePort {
+                    return Algo::SinglePort;
+                }
+                let ap = Algo::AllPort { chunks: self.pipeline_chunks(k, len) };
+                if cost.collective_time(kind, k, len, ap)
+                    < cost.collective_time(kind, k, len, Algo::SinglePort)
+                {
+                    ap
+                } else {
+                    Algo::SinglePort
+                }
+            }
+        }
+    }
+}
+
+/// Height (edge depth) of one edge-disjoint spanning binomial tree of a
+/// `k`-cube, source edge included: `k + 1` for `k >= 2`, else `k`. The
+/// pipelined tree schedules take `height + chunks - 1` supersteps.
+#[must_use]
+pub fn esbt_height(k: usize) -> usize {
+    if k <= 1 {
+        k
+    } else {
+        k + 1
+    }
+}
+
+/// One all-port schedule, normalised to `steps` identical supersteps in
+/// which every node drives at most `per_port` elements per port and
+/// combines at most `per_step_flops` elements locally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortSchedule {
+    /// Concurrent supersteps.
+    pub steps: usize,
+    /// Elements per port per superstep (the message length charged).
+    pub per_port: usize,
+    /// Critical-path combines per superstep.
+    pub per_step_flops: usize,
+}
+
+/// The all-port schedule for `kind` over `k` dimensions with
+/// critical-path segment length `len`, pipelined as `chunks` cells per
+/// tree. This is the single source of the ported cost model: the
+/// machine charges exactly this schedule and `vmp::analysis` prices it,
+/// so predictions cannot drift from charges.
+///
+/// * `Broadcast`: each of the `k` trees carries `ceil(len/k)` elements
+///   in `chunks` cells; a cell descends one tree level per superstep,
+///   so the last cell arrives after `esbt_height(k) + chunks - 1`
+///   steps of `message(cell)`.
+/// * `Reduce`: the same trees reversed; a node can receive one cell on
+///   each of its `k` ports per step, combining them serially.
+/// * `Allreduce`/`Scan`: `k` dimension-staggered butterflies, one per
+///   payload piece, so every step exchanges `ceil(len/k)` per port but
+///   still combines the full payload locally — the bandwidth term
+///   drops by `k`, the flop term does not.
+/// * `Allgather`: every node absorbs `2^k - 1` remote segments over
+///   `k` ports: `ceil((2^k - 1)/k)` steps of `message(len)` (chunking
+///   cannot reduce the start-up count further, so `chunks` is unused).
+#[must_use]
+pub fn allport_schedule(kind: Collective, k: usize, len: usize, chunks: usize) -> PortSchedule {
+    let k = k.max(1);
+    let piece = len.div_ceil(k);
+    let c = chunks.max(1);
+    match kind {
+        Collective::Broadcast => PortSchedule {
+            steps: esbt_height(k) + c - 1,
+            per_port: piece.div_ceil(c),
+            per_step_flops: 0,
+        },
+        Collective::Reduce => {
+            let cell = piece.div_ceil(c);
+            PortSchedule { steps: esbt_height(k) + c - 1, per_port: cell, per_step_flops: k * cell }
+        }
+        Collective::Allreduce => PortSchedule { steps: k, per_port: piece, per_step_flops: len },
+        Collective::Scan => PortSchedule { steps: k, per_port: piece, per_step_flops: 2 * len },
+        Collective::Allgather => PortSchedule {
+            steps: ((1usize << k.min(usize::BITS as usize - 1)) - 1).div_ceil(k),
+            per_port: len,
+            per_step_flops: 0,
+        },
+    }
+}
+
 /// The machine cost parameters (all in microseconds).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CostModel {
@@ -104,6 +289,50 @@ impl CostModel {
         CostModel { alpha: 0.0, ..Self::unit() }
     }
 
+    /// CM-2 constants with concurrent channel use enabled — the preset
+    /// under which [`AlgoPolicy::Auto`] considers all-port schedules.
+    #[must_use]
+    pub fn cm2_allport() -> Self {
+        CostModel { ports: PortModel::AllPort, ..Self::cm2() }
+    }
+
+    /// Predicted time of one collective over `k` dimensions with
+    /// critical-path segment length `len` under schedule `algo`.
+    ///
+    /// The single-port forms reproduce the per-superstep charges of the
+    /// slab collectives exactly (`k` exchange steps, allgather's
+    /// doubling lengths summed step by step), so `vmp::analysis` keeps
+    /// its exact-match property; the all-port form prices
+    /// [`allport_schedule`], which the machine charges verbatim.
+    #[must_use]
+    pub fn collective_time(&self, kind: Collective, k: usize, len: usize, algo: Algo) -> f64 {
+        match algo {
+            Algo::SinglePort => {
+                let kf = k as f64;
+                match kind {
+                    Collective::Broadcast => kf * self.message(len),
+                    Collective::Reduce | Collective::Allreduce => {
+                        kf * (self.message(len) + self.flops(len))
+                    }
+                    Collective::Scan => kf * (self.message(len) + self.flops(2 * len)),
+                    Collective::Allgather => {
+                        let mut t = 0.0;
+                        let mut l = len;
+                        for _ in 0..k {
+                            t += self.message(l);
+                            l *= 2;
+                        }
+                        t
+                    }
+                }
+            }
+            Algo::AllPort { chunks } => {
+                let s = allport_schedule(kind, k, len, chunks);
+                s.steps as f64 * (self.message(s.per_port) + self.flops(s.per_step_flops))
+            }
+        }
+    }
+
     /// Time for one blocked neighbour message of `n` elements.
     #[inline]
     #[must_use]
@@ -147,7 +376,8 @@ mod tests {
 
     #[test]
     fn presets_are_sane() {
-        for m in [CostModel::cm2(), CostModel::ipsc1(), CostModel::unit()] {
+        for m in [CostModel::cm2(), CostModel::ipsc1(), CostModel::unit(), CostModel::cm2_allport()]
+        {
             assert!(m.alpha >= 0.0 && m.beta > 0.0 && m.gamma > 0.0);
             assert!(m.router_alpha >= 0.0 && m.router_cycle > 0.0);
             // Start-up should dominate a single-element transfer on real
@@ -171,5 +401,102 @@ mod tests {
         let c = CostModel::cm2();
         let d = c; // Copy
         assert_eq!(c, d);
+    }
+
+    #[test]
+    fn single_port_times_match_per_step_charges() {
+        let c = CostModel::unit();
+        let (k, l) = (4usize, 10usize);
+        assert_eq!(c.collective_time(Collective::Broadcast, k, l, Algo::SinglePort), 4.0 * 11.0);
+        assert_eq!(
+            c.collective_time(Collective::Allreduce, k, l, Algo::SinglePort),
+            4.0 * (11.0 + 10.0)
+        );
+        assert_eq!(
+            c.collective_time(Collective::Scan, k, l, Algo::SinglePort),
+            4.0 * (11.0 + 20.0)
+        );
+        // Allgather sums doubling message lengths: l, 2l, 4l, 8l.
+        assert_eq!(
+            c.collective_time(Collective::Allgather, k, l, Algo::SinglePort),
+            4.0 + (10 + 20 + 40 + 80) as f64
+        );
+    }
+
+    #[test]
+    fn allport_schedule_shapes() {
+        // Unpipelined broadcast: one cell per tree, esbt_height(k) steps.
+        let s = allport_schedule(Collective::Broadcast, 4, 100, 1);
+        assert_eq!((s.steps, s.per_port, s.per_step_flops), (5, 25, 0));
+        // Pipelining adds chunks-1 steps and shrinks the cell.
+        let s = allport_schedule(Collective::Broadcast, 4, 100, 5);
+        assert_eq!((s.steps, s.per_port), (9, 5));
+        // Reduce combines up to one cell per port per step.
+        let s = allport_schedule(Collective::Reduce, 4, 100, 1);
+        assert_eq!((s.steps, s.per_port, s.per_step_flops), (5, 25, 100));
+        // Staggered butterflies: k steps on pieces, full-payload flops.
+        let s = allport_schedule(Collective::Allreduce, 4, 100, 3);
+        assert_eq!((s.steps, s.per_port, s.per_step_flops), (4, 25, 100));
+        let s = allport_schedule(Collective::Scan, 4, 100, 1);
+        assert_eq!((s.steps, s.per_port, s.per_step_flops), (4, 25, 200));
+        // Allgather: ceil((2^k - 1)/k) full-segment steps.
+        let s = allport_schedule(Collective::Allgather, 4, 100, 7);
+        assert_eq!((s.steps, s.per_port, s.per_step_flops), (4, 100, 0));
+    }
+
+    #[test]
+    fn auto_policy_is_single_port_on_one_port_presets() {
+        let sel = AlgoSelect::default();
+        for kind in [
+            Collective::Broadcast,
+            Collective::Reduce,
+            Collective::Allreduce,
+            Collective::Allgather,
+            Collective::Scan,
+        ] {
+            assert_eq!(sel.choose(&CostModel::cm2(), kind, 10, 1 << 14, false), Algo::SinglePort);
+        }
+    }
+
+    #[test]
+    fn auto_policy_picks_all_port_for_large_broadcasts() {
+        let sel = AlgoSelect::default();
+        let c = CostModel::cm2_allport();
+        let algo = sel.choose(&c, Collective::Broadcast, 10, 1 << 14, false);
+        let Algo::AllPort { chunks } = algo else {
+            panic!("expected all-port for a large broadcast, got {algo:?}");
+        };
+        assert!(chunks > 1, "large payload should pipeline");
+        let sp = c.collective_time(Collective::Broadcast, 10, 1 << 14, Algo::SinglePort);
+        let ap = c.collective_time(Collective::Broadcast, 10, 1 << 14, algo);
+        assert!(
+            sp / ap >= 2.0,
+            "acceptance regime: expected >= 2x at p=1024 large messages, got {:.2}x",
+            sp / ap
+        );
+    }
+
+    #[test]
+    fn live_faults_force_single_port() {
+        let sel = AlgoSelect { policy: AlgoPolicy::ForceAllPort, cell: 64 };
+        let c = CostModel::cm2_allport();
+        assert_eq!(sel.choose(&c, Collective::Broadcast, 8, 4096, true), Algo::SinglePort);
+        assert_eq!(sel.choose(&c, Collective::Broadcast, 0, 4096, false), Algo::SinglePort);
+        assert_eq!(sel.choose(&c, Collective::Broadcast, 8, 0, false), Algo::SinglePort);
+    }
+
+    #[test]
+    fn forced_policies_respected_when_healthy() {
+        let sel = AlgoSelect { policy: AlgoPolicy::ForcePipelined, cell: 8 };
+        let c = CostModel::cm2(); // even one-port presets obey a force
+        match sel.choose(&c, Collective::Allgather, 6, 4096, false) {
+            Algo::AllPort { chunks } => assert!(chunks >= 2),
+            other => panic!("expected pipelined all-port, got {other:?}"),
+        }
+        let sp = AlgoSelect { policy: AlgoPolicy::ForceSinglePort, cell: 8 };
+        assert_eq!(
+            sp.choose(&CostModel::cm2_allport(), Collective::Broadcast, 10, 1 << 14, false),
+            Algo::SinglePort
+        );
     }
 }

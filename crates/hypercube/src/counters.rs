@@ -14,6 +14,10 @@ pub struct Counters {
     /// Blocked neighbour-message supersteps executed (one per exchange
     /// phase, regardless of how many node pairs exchange in parallel).
     pub message_steps: u64,
+    /// Supersteps in which all ports of a node were driven concurrently
+    /// (the all-port collective schedules; also counted in
+    /// `message_steps`).
+    pub allport_steps: u64,
     /// Total elements crossing channels, summed over all channels.
     pub elements_transferred: u64,
     /// Maximum elements crossing any single channel in any step (a
@@ -79,6 +83,7 @@ impl Counters {
     pub fn since(&self, earlier: &Counters) -> Counters {
         Counters {
             message_steps: self.message_steps.saturating_sub(earlier.message_steps),
+            allport_steps: self.allport_steps.saturating_sub(earlier.allport_steps),
             elements_transferred: self
                 .elements_transferred
                 .saturating_sub(earlier.elements_transferred),

@@ -16,7 +16,7 @@
 //! data, results are bit-exact and independently testable against serial
 //! oracles; only the *clock* is modelled.
 
-use crate::cost::CostModel;
+use crate::cost::{allport_schedule, Algo, AlgoSelect, Collective, CostModel};
 use crate::counters::Counters;
 use crate::fault::{FaultPlan, ResilientConfig};
 use crate::topology::{Cube, NodeId};
@@ -41,6 +41,7 @@ struct FaultCtx {
 pub struct Hypercube {
     cube: Cube,
     cost: CostModel,
+    algo: AlgoSelect,
     clock_us: f64,
     counters: Counters,
     fault: Option<Box<FaultCtx>>,
@@ -53,6 +54,7 @@ impl Hypercube {
         Hypercube {
             cube: Cube::new(dim),
             cost,
+            algo: AlgoSelect::default(),
             clock_us: 0.0,
             counters: Counters::default(),
             fault: None,
@@ -91,6 +93,63 @@ impl Hypercube {
     #[must_use]
     pub fn cost(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// The collective schedule selector in force.
+    #[inline]
+    #[must_use]
+    pub fn algo_select(&self) -> AlgoSelect {
+        self.algo
+    }
+
+    /// Replace the collective schedule selector (policy + pipeline cell).
+    pub fn set_algo_select(&mut self, algo: AlgoSelect) {
+        self.algo = algo;
+    }
+
+    /// Whether the machine currently has live fault state: a non-empty
+    /// fault plan, or degradation remaps doubling up hosts. The
+    /// collectives fall back to single-port schedules (whose exchange
+    /// steps carry the detour/retry/remap machinery) whenever this is
+    /// true; an *empty* installed plan stays on the fast paths, keeping
+    /// the zero-overhead invariant.
+    #[inline]
+    #[must_use]
+    pub fn live_faults(&self) -> bool {
+        self.fault.as_deref().is_some_and(|ctx| !ctx.plan.is_empty() || ctx.load_factor > 1)
+    }
+
+    /// Choose the schedule for one collective call over `k` dimensions
+    /// with critical-path segment length `max_len`, consulting the
+    /// machine's selector, cost model, and live fault state.
+    #[must_use]
+    pub fn choose_algo(&self, kind: Collective, k: usize, max_len: usize) -> Algo {
+        self.algo.choose(&self.cost, kind, k, max_len, self.live_faults())
+    }
+
+    /// Charge the all-port schedule for one collective: `steps`
+    /// concurrent supersteps of `message(per_port)` plus the per-step
+    /// critical-path combines. Each superstep advances the fault clock
+    /// like any other message step (all-port schedules only run when
+    /// [`Hypercube::live_faults`] is false, so there is no detour
+    /// machinery to consult). `total_elements` is the machine-wide
+    /// element count for the whole collective, booked on the first step.
+    pub fn charge_allport(
+        &mut self,
+        kind: Collective,
+        k: usize,
+        max_len: usize,
+        chunks: usize,
+        total_elements: u64,
+    ) {
+        let s = allport_schedule(kind, k, max_len, chunks);
+        for step in 0..s.steps {
+            self.charge_message_step(s.per_port, if step == 0 { total_elements } else { 0 });
+            self.counters.allport_steps += 1;
+            if s.per_step_flops > 0 {
+                self.charge_flops(s.per_step_flops);
+            }
+        }
     }
 
     /// Simulated time elapsed since construction or the last
@@ -559,6 +618,67 @@ mod tests {
         assert_eq!(hc.host_of(1), 0);
         assert_eq!(hc.load_factor(), 3);
         let _ = FaultPlan::none(0);
+    }
+
+    #[test]
+    fn live_faults_tracks_plan_and_degradation() {
+        use crate::fault::{FaultPlan, ResilientConfig};
+        let mut hc = Hypercube::new(3, CostModel::unit());
+        assert!(!hc.live_faults());
+        hc.install_faults(FaultPlan::none(7), ResilientConfig::default());
+        assert!(hc.fault_active());
+        assert!(!hc.live_faults(), "an empty installed plan is not live");
+        hc.install_faults(FaultPlan::none(7).with_link_fault(0, 1, 0), ResilientConfig::default());
+        assert!(hc.live_faults());
+        hc.clear_faults();
+        hc.remap_node(3, 1);
+        assert!(hc.live_faults(), "degradation remaps count as live faults");
+    }
+
+    #[test]
+    fn choose_algo_falls_back_under_live_faults() {
+        use crate::cost::{Algo, AlgoPolicy, AlgoSelect, Collective};
+        use crate::fault::{FaultPlan, ResilientConfig};
+        let mut hc = Hypercube::new(8, CostModel::cm2_allport());
+        hc.set_algo_select(AlgoSelect { policy: AlgoPolicy::ForceAllPort, cell: 64 });
+        assert_eq!(hc.choose_algo(Collective::Broadcast, 8, 4096), Algo::AllPort { chunks: 1 });
+        hc.install_faults(FaultPlan::none(1).with_drops(0.5, 0, 100), ResilientConfig::default());
+        assert_eq!(
+            hc.choose_algo(Collective::Broadcast, 8, 4096),
+            Algo::SinglePort,
+            "live faults force the single-port detour-capable path"
+        );
+    }
+
+    #[test]
+    fn charge_allport_matches_collective_time_and_counts_steps() {
+        use crate::cost::{Algo, Collective};
+        let kinds = [
+            Collective::Broadcast,
+            Collective::Reduce,
+            Collective::Allreduce,
+            Collective::Allgather,
+            Collective::Scan,
+        ];
+        for kind in kinds {
+            let mut hc = Hypercube::new(6, CostModel::cm2_allport());
+            hc.charge_allport(kind, 6, 1000, 3, 5000);
+            let want = CostModel::cm2_allport().collective_time(
+                kind,
+                6,
+                1000,
+                Algo::AllPort { chunks: 3 },
+            );
+            assert!(
+                (hc.elapsed_us() - want).abs() < 1e-9,
+                "{kind:?}: charged {} vs priced {want}",
+                hc.elapsed_us()
+            );
+            let s = allport_schedule(kind, 6, 1000, 3);
+            assert_eq!(hc.counters().allport_steps, s.steps as u64);
+            assert_eq!(hc.counters().message_steps, s.steps as u64, "fault clock advances");
+            assert_eq!(hc.counters().elements_transferred, 5000);
+        }
     }
 
     #[test]

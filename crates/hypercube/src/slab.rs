@@ -111,6 +111,18 @@ impl<T> NodeSlab<T> {
         }
     }
 
+    /// `Some(l)` when every segment has the same length `l` (the common
+    /// case after a balanced distribute), else `None`.
+    #[must_use]
+    pub fn uniform_seg_len(&self) -> Option<usize> {
+        let p = self.p();
+        if p == 0 {
+            return None;
+        }
+        let l = self.len_of(0);
+        (1..p).all(|i| self.len_of(i) == l).then_some(l)
+    }
+
     /// The raw backing storage (all segments, in node order).
     #[must_use]
     pub fn data(&self) -> &[T] {
@@ -174,6 +186,47 @@ impl<T> NodeSlab<T> {
             slab.offsets.push(slab.data.len());
         }
         slab
+    }
+}
+
+impl<T: Copy> NodeSlab<T> {
+    /// Combine every butterfly partner pair `(node, node | chan_bit)`
+    /// elementwise in one pass, writing the combined value to **both**
+    /// partners: `lo[i] = hi[i] = op(lo[i], hi[i])`.
+    ///
+    /// Requires uniform segment lengths. Because node ids ascend in
+    /// storage order, the nodes with `chan_bit` clear/set alternate as
+    /// runs of `chan_bit` consecutive segments, so each partner pair is
+    /// a `lo`/`hi` half of one contiguous `2 * chan_bit * l` block —
+    /// the whole exchange is `p/2` straight-line slice combines with no
+    /// per-pair offset lookups. Combine order and results are identical
+    /// to looping [`NodeSlab::pair_mut`] with `op(lo, hi)` per element
+    /// (the op is applied elementwise either way).
+    ///
+    /// # Panics
+    /// Panics when segment lengths are not uniform, or `chan_bit` is not
+    /// a power of two below `p`.
+    pub fn butterfly_combine(&mut self, chan_bit: usize, op: impl Fn(T, T) -> T) {
+        let p = self.p();
+        assert!(
+            chan_bit.is_power_of_two() && chan_bit < p,
+            "chan_bit {chan_bit} is not a channel of a {p}-node slab"
+        );
+        let Some(l) = self.uniform_seg_len() else {
+            panic!("butterfly_combine requires uniform segment lengths");
+        };
+        if l == 0 {
+            return;
+        }
+        let half = chan_bit * l;
+        for block in self.data.chunks_exact_mut(2 * half) {
+            let (lo, hi) = block.split_at_mut(half);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let combined = op(*a, *b);
+                *a = combined;
+                *b = combined;
+            }
+        }
     }
 }
 
@@ -460,5 +513,44 @@ mod tests {
     fn filled_matches_lengths() {
         let slab = NodeSlab::filled(&[2, 0, 3], 7u16);
         assert_eq!(slab.to_nested(), vec![vec![7, 7], vec![], vec![7, 7, 7]]);
+    }
+
+    #[test]
+    fn uniform_seg_len_detects_uniformity() {
+        assert_eq!(NodeSlab::filled(&[3, 3, 3, 3], 0u8).uniform_seg_len(), Some(3));
+        assert_eq!(NodeSlab::filled(&[3, 3, 2, 3], 0u8).uniform_seg_len(), None);
+        assert_eq!(NodeSlab::filled(&[0, 0], 0u8).uniform_seg_len(), Some(0));
+        assert_eq!(NodeSlab::<u8>::new(0).uniform_seg_len(), None);
+    }
+
+    #[test]
+    fn butterfly_combine_matches_pair_mut_loop() {
+        let p = 8usize;
+        let l = 5usize;
+        let mk = || {
+            NodeSlab::from_nested(
+                &(0..p)
+                    .map(|n| (0..l).map(|i| (n * 31 + i) as f64 * 0.25 - 3.0).collect())
+                    .collect::<Vec<Vec<f64>>>(),
+            )
+        };
+        let op = |a: f64, b: f64| a + b * 0.5;
+        for d in 0..3u32 {
+            let bit = 1usize << d;
+            let mut fast = mk();
+            fast.butterfly_combine(bit, op);
+            let mut slow = mk();
+            for node in 0..p {
+                if node & bit == 0 {
+                    let (lo, hi) = slow.pair_mut(node, node | bit);
+                    for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                        let combined = op(*a, *b);
+                        *a = combined;
+                        *b = combined;
+                    }
+                }
+            }
+            assert_eq!(fast.data(), slow.data(), "bit {bit}");
+        }
     }
 }

@@ -238,6 +238,136 @@ fn reduce_scatter<T: Copy>(
     }
 }
 
+/// The `k` edge-disjoint spanning binomial trees (ESBTs) of a `k`-cube,
+/// source node 0 — the structure underlying the all-port collective
+/// schedules in [`crate::collective`] and the ported cost model in
+/// [`crate::cost::allport_schedule`].
+///
+/// Tree 0 spans the nonzero nodes with a binomial-tree shape given by
+/// the parent rule (for `z != 0`):
+///
+/// * `z` odd  → parent is `z` with its most significant bit cleared
+///   (so node 1's parent is 0 — the source edge `0 → 1`);
+/// * `z` even → parent is `z | 1` (flip bit 0 up).
+///
+/// Tree `j` is tree 0 with every node label rotated left by `j` within
+/// the `k` coordinate bits: `parent_j(y) = rol_j(parent_0(ror_j(y)))`,
+/// so its source edge is `0 → 2^j`. For any node `y != 0`, the map
+/// `j ↦ dimension of y's parent edge in tree j` is a bijection on
+/// `{0..k}`; hence the `k` trees' directed parent edges are pairwise
+/// disjoint and together cover every directed cube edge except the `k`
+/// edges *into* node 0 (verified exhaustively in the crate tests).
+/// Every chain `even → odd (+1) → clear-msb` strictly descends every
+/// two steps, so each tree is acyclic with height
+/// [`crate::cost::esbt_height`]`(k)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EsbtForest {
+    k: u32,
+}
+
+impl EsbtForest {
+    /// The forest for a `k`-dimensional cube (`1 <= k <= 60`).
+    ///
+    /// # Panics
+    /// Panics when `k` is outside `1..=60`.
+    #[must_use]
+    pub fn new(k: u32) -> Self {
+        assert!((1..=60).contains(&k), "EsbtForest dimension {k} out of range 1..=60");
+        EsbtForest { k }
+    }
+
+    /// Cube dimension `k` = number of trees.
+    #[inline]
+    #[must_use]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of cube nodes `2^k`.
+    #[inline]
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        1usize << self.k
+    }
+
+    #[inline]
+    fn ror(&self, x: usize, j: u32) -> usize {
+        let mask = self.nodes() - 1;
+        ((x >> j) | (x << (self.k - j))) & mask
+    }
+
+    #[inline]
+    fn rol(&self, x: usize, j: u32) -> usize {
+        self.ror(x, self.k - j)
+    }
+
+    /// Parent of `z != 0` in tree 0 (see the type docs for the rule).
+    fn parent0(z: usize) -> usize {
+        debug_assert!(z != 0);
+        if z & 1 == 1 {
+            let msb = 1usize << (usize::BITS - 1 - z.leading_zeros());
+            z ^ msb
+        } else {
+            z | 1
+        }
+    }
+
+    /// Parent of `node` in tree `j` (`None` for the source node 0).
+    ///
+    /// # Panics
+    /// Panics when `tree >= k` or `node` is out of range.
+    #[must_use]
+    pub fn parent(&self, tree: u32, node: NodeId) -> Option<NodeId> {
+        assert!(tree < self.k, "tree {tree} out of range for k={}", self.k);
+        assert!(node < self.nodes(), "node {node} out of range");
+        if node == 0 {
+            return None;
+        }
+        let j = tree % self.k;
+        if j == 0 {
+            Some(Self::parent0(node))
+        } else {
+            Some(self.rol(Self::parent0(self.ror(node, j)), j))
+        }
+    }
+
+    /// Edge depth of `node` below the source in tree `tree` (0 for the
+    /// source node itself).
+    #[must_use]
+    pub fn depth(&self, tree: u32, node: NodeId) -> usize {
+        let mut d = 0usize;
+        let mut at = node;
+        while let Some(p) = self.parent(tree, at) {
+            at = p;
+            d += 1;
+        }
+        d
+    }
+
+    /// Maximum edge depth over all nodes of tree `tree`; equals
+    /// [`crate::cost::esbt_height`]`(k)` for every tree.
+    #[must_use]
+    pub fn height(&self, tree: u32) -> usize {
+        (0..self.nodes()).map(|n| self.depth(tree, n)).max().unwrap_or(0)
+    }
+
+    /// Children of `node` in tree `tree`, ascending — the fixed tree-rank
+    /// order that makes all-port combine order deterministic.
+    #[must_use]
+    pub fn children(&self, tree: u32, node: NodeId) -> Vec<NodeId> {
+        (0..self.nodes()).filter(|&c| self.parent(tree, c) == Some(node)).collect()
+    }
+
+    /// All `2^k - 1` directed parent edges `(parent, child)` of tree
+    /// `tree`, in ascending child order.
+    pub fn edges(&self, tree: u32) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (1..self.nodes()).map(move |c| {
+            let p = self.parent(tree, c).unwrap_or(0);
+            (p, c)
+        })
+    }
+}
+
 /// Split `buf` into `pieces` contiguous segments of near-equal length
 /// (the first `len % pieces` segments are one element longer).
 fn split_even<T: Clone>(buf: &[T], pieces: usize) -> Vec<Vec<T>> {
@@ -261,6 +391,62 @@ mod tests {
 
     fn machine(dim: u32) -> Hypercube {
         Hypercube::new(dim, CostModel::unit())
+    }
+
+    #[test]
+    fn esbt_small_tree_matches_hand_derivation() {
+        // k = 3, tree 0: 0→1; 1→{3,5}; 3→{2,7}; 5→{4}; 7→{6}.
+        let f = EsbtForest::new(3);
+        assert_eq!(f.parent(0, 1), Some(0));
+        assert_eq!(f.parent(0, 3), Some(1));
+        assert_eq!(f.parent(0, 5), Some(1));
+        assert_eq!(f.parent(0, 2), Some(3));
+        assert_eq!(f.parent(0, 7), Some(3));
+        assert_eq!(f.parent(0, 4), Some(5));
+        assert_eq!(f.parent(0, 6), Some(7));
+        assert_eq!(f.children(0, 1), vec![3, 5]);
+        // Tree j's source edge is 0 → 2^j.
+        for j in 0..3 {
+            assert_eq!(f.parent(j, 1 << j), Some(0));
+        }
+    }
+
+    #[test]
+    fn esbt_trees_are_spanning_and_bounded_by_height() {
+        use crate::cost::esbt_height;
+        for k in 1..=8u32 {
+            let f = EsbtForest::new(k);
+            for tree in 0..k {
+                for node in 0..f.nodes() {
+                    let d = f.depth(tree, node); // terminates => reaches 0
+                    assert!(d <= esbt_height(k as usize), "k={k} tree={tree} node={node}");
+                }
+                assert_eq!(f.height(tree), esbt_height(k as usize), "k={k} tree={tree}");
+                assert_eq!(f.edges(tree).count(), f.nodes() - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn esbt_forest_partitions_directed_edges() {
+        use std::collections::HashSet;
+        for k in 1..=8u32 {
+            let f = EsbtForest::new(k);
+            let mut seen: HashSet<(usize, usize)> = HashSet::new();
+            for tree in 0..k {
+                for (p, c) in f.edges(tree) {
+                    assert_eq!((p ^ c).count_ones(), 1, "k={k} tree={tree}: {p}->{c} not an edge");
+                    assert!(seen.insert((p, c)), "k={k}: duplicate directed edge {p}->{c}");
+                }
+            }
+            // Every directed cube edge is used exactly once, except the k
+            // edges into node 0.
+            let expected = (k as usize) * f.nodes() - k as usize;
+            assert_eq!(seen.len(), expected, "k={k}");
+            for (_, c) in &seen {
+                assert_ne!(*c, 0, "no tree edge points into the source");
+            }
+        }
     }
 
     #[test]

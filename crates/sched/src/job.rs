@@ -299,4 +299,35 @@ mod tests {
         let large = spec(JobKind::Gauss { n: 24 }, 4, 1, 0.0).predicted_us(4, &cost);
         assert!(small < large, "matvec must rank before elimination ({small} vs {large})");
     }
+
+    #[test]
+    fn predicted_us_stays_consistent_under_allport_model() {
+        // The SPJF key routes its communication terms through the same
+        // schedule selector the machine uses, so switching the cluster to
+        // an all-port cost model moves predictions and executions
+        // together: matvec's key tracks its simulated service time
+        // exactly, and no kind's key ever prices the ported schedule
+        // above the single-port one it replaces.
+        let sp = CostModel::cm2();
+        let ap = CostModel::cm2_allport();
+
+        let s = spec(JobKind::Matvec { n: 32 }, 4, 3, 0.0);
+        let out = s.run_standalone(ap);
+        let key = s.predicted_us(4, &ap);
+        assert!(
+            (out.service_us - key).abs() < 1e-9,
+            "matvec key {key} vs simulated {}",
+            out.service_us
+        );
+
+        for kind in [JobKind::Matvec { n: 32 }, JobKind::Gauss { n: 16 }, JobKind::Simplex { n: 8 }]
+        {
+            let s = spec(kind, 4, 3, 0.0);
+            assert!(
+                s.predicted_us(4, &ap) <= s.predicted_us(4, &sp) + 1e-9,
+                "{}: all-port key must not exceed the single-port key",
+                kind.name()
+            );
+        }
+    }
 }

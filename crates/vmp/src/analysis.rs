@@ -17,7 +17,7 @@
 //! *simulated* machine agrees with the formulas, and that the optimality
 //! predicates behave as claimed across the `m = p lg p` threshold.
 
-use vmp_hypercube::cost::CostModel;
+use vmp_hypercube::cost::{AlgoSelect, Collective, CostModel};
 use vmp_layout::MatrixLayout;
 
 /// Per-processor block bound `ceil(n_r/p_r) * ceil(n_c/p_c)` — the local
@@ -27,15 +27,30 @@ pub fn local_block(layout: &MatrixLayout) -> usize {
     layout.max_local_len()
 }
 
+/// Predicted time of one collective of `kind` over `k` dimensions with
+/// critical-path segment length `len`, under the **default** schedule
+/// selector and a healthy machine — exactly what a default-configured
+/// [`vmp_hypercube::machine::Hypercube`] with this cost model charges.
+/// One-port cost models make this the classic single-port formula; an
+/// all-port model prices the same ported schedule the machine runs, so
+/// predictions track charges under either port model.
+#[must_use]
+pub fn collective_cost(cost: &CostModel, kind: Collective, k: usize, len: usize) -> f64 {
+    let algo = AlgoSelect::default().choose(cost, kind, k, len, false);
+    cost.collective_time(kind, k, len, algo)
+}
+
 /// Predicted time of `reduce` along rows (the `Axis::Row` case; swap the
-/// grid factors for columns): local fold over the block plus a `d_r`-step
-/// butterfly on chunks of `ceil(n_c/p_c)` elements.
+/// grid factors for columns): local fold over the block plus an
+/// allreduce over the `d_r` row dimensions on chunks of `ceil(n_c/p_c)`
+/// elements (a `d_r`-step butterfly single-port; the staggered
+/// piece-butterflies under an all-port model).
 #[must_use]
 pub fn predicted_reduce(layout: &MatrixLayout, cost: &CostModel) -> f64 {
     let block = local_block(layout) as f64;
     let chunk = layout.cols().max_count();
-    let dr = layout.grid().dr() as f64;
-    cost.gamma * block + dr * (cost.message(chunk) + cost.flops(chunk))
+    let dr = layout.grid().dr() as usize;
+    cost.gamma * block + collective_cost(cost, Collective::Allreduce, dr, chunk)
 }
 
 /// Predicted time of `distribute` from a replicated row vector: pure
@@ -46,12 +61,13 @@ pub fn predicted_distribute_replicated(layout: &MatrixLayout, cost: &CostModel) 
 }
 
 /// Predicted time of `distribute` from a concentrated row vector: a
-/// `d_r`-step broadcast of the chunk, then local replication.
+/// broadcast of the chunk over the `d_r` row dimensions, then local
+/// replication.
 #[must_use]
 pub fn predicted_distribute_concentrated(layout: &MatrixLayout, cost: &CostModel) -> f64 {
     let chunk = layout.cols().max_count();
-    let dr = layout.grid().dr() as f64;
-    dr * cost.message(chunk) + cost.moves(local_block(layout))
+    let dr = layout.grid().dr() as usize;
+    collective_cost(cost, Collective::Broadcast, dr, chunk) + cost.moves(local_block(layout))
 }
 
 /// Predicted time of `extract` (concentrated result): one local chunk
@@ -62,11 +78,12 @@ pub fn predicted_extract(layout: &MatrixLayout, cost: &CostModel) -> f64 {
 }
 
 /// Predicted time of `extract` + replication: the local copy plus a
-/// `d_r`-step broadcast.
+/// broadcast over the `d_r` row dimensions.
 #[must_use]
 pub fn predicted_extract_replicated(layout: &MatrixLayout, cost: &CostModel) -> f64 {
     let chunk = layout.cols().max_count();
-    cost.moves(chunk) + layout.grid().dr() as f64 * cost.message(chunk)
+    let dr = layout.grid().dr() as usize;
+    cost.moves(chunk) + collective_cost(cost, Collective::Broadcast, dr, chunk)
 }
 
 /// Predicted time of `insert` from a replicated vector: one local chunk
@@ -91,6 +108,11 @@ pub fn predicted_insert(layout: &MatrixLayout, cost: &CostModel) -> f64 {
 /// dimension (every dead node has `d_r - 1` other row partners besides
 /// the one it may share a host with). Intra-host pairs within a step
 /// simply stop being channel traffic.
+///
+/// Deliberately single-port: a machine with `load_factor > 1` reports
+/// live faults, and the schedule selector falls back to the single-port
+/// butterfly regardless of the cost model's port capability — so the
+/// degraded prediction never prices an all-port schedule.
 #[must_use]
 pub fn predicted_reduce_degraded(
     layout: &MatrixLayout,
@@ -165,6 +187,27 @@ mod tests {
     fn simulated_reduce_matches_formula_exactly_under_unit_model() {
         let cost = CostModel::unit();
         for (n, dim) in [(16usize, 4u32), (32, 6), (24, 4)] {
+            let l = layout(n, dim);
+            let m = DistMatrix::from_fn(l.clone(), |i, j| (i + j) as f64);
+            let mut hc = Hypercube::new(dim, cost);
+            let _ = primitives::reduce(&mut hc, &m, Axis::Row, Sum);
+            let predicted = predicted_reduce(&l, &cost);
+            assert!(
+                (hc.elapsed_us() - predicted).abs() < 1e-9,
+                "n={n} dim={dim}: simulated {} vs predicted {predicted}",
+                hc.elapsed_us()
+            );
+        }
+    }
+
+    #[test]
+    fn simulated_reduce_matches_formula_under_allport_model() {
+        // The prediction routes its communication term through the same
+        // schedule selector the machine uses, so it stays exact when the
+        // cost model advertises all ports and the machine actually runs
+        // the ported schedule.
+        let cost = CostModel::cm2_allport();
+        for (n, dim) in [(16usize, 4u32), (64, 6), (24, 4)] {
             let l = layout(n, dim);
             let m = DistMatrix::from_fn(l.clone(), |i, j| (i + j) as f64);
             let mut hc = Hypercube::new(dim, cost);

@@ -256,6 +256,15 @@ mod tests {
         let sched = classify("crates/sched/src/sched.rs").unwrap();
         assert!(sched.determinism && sched.slab);
         assert!(sched.panic_surface, "the whole scheduler crate is a P1 hot path");
+        // The all-port collective engine rides the collective/ prefix
+        // and the spanning-tree entry: P1 and S1 both armed.
+        for file in
+            ["crates/hypercube/src/collective/allport.rs", "crates/hypercube/src/spanning.rs"]
+        {
+            let scope = classify(file).unwrap();
+            assert!(scope.panic_surface, "{file} must be a P1 hot path");
+            assert!(scope.slab, "{file} must keep S1 armed");
+        }
     }
 
     #[test]
